@@ -1,0 +1,49 @@
+//! E2–E5: timing of the Appendix-A model simulators (the figure
+//! regenerators themselves), so regressions in the sim core are caught.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcopy_sim::{simulate_concurrent, simulate_sequential, ConcConfig, SeqConfig};
+
+fn bench_sequential_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/sequential");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.bench_function("n14_m10", |b| {
+        b.iter(|| {
+            black_box(simulate_sequential(SeqConfig {
+                n: 1 << 14,
+                m: 1 << 10,
+                r: 100,
+                ops: 2_000,
+                warmup: 2_000,
+                seed: 1,
+                path_copy: false,
+                cache_model: pathcopy_sim::seq::CacheModel::Lru,
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_concurrent_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/concurrent");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for p in [4usize, 17, 63] {
+        group.bench_function(BenchmarkId::new("n14_r100", p), |b| {
+            b.iter(|| {
+                black_box(simulate_concurrent(ConcConfig {
+                    ops: 2_000,
+                    warmup: 500,
+                    ..ConcConfig::new(1 << 14, p, 100)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_sim, bench_concurrent_sim);
+criterion_main!(benches);

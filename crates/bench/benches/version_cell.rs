@@ -1,0 +1,57 @@
+//! Costs of the `Root_Ptr` register itself: snapshot loads, uncontended
+//! and contended CAS.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathcopy_core::VersionCell;
+
+fn bench_load(c: &mut Criterion) {
+    let cell = VersionCell::new(0u64);
+    c.bench_function("version_cell/load", |b| {
+        b.iter(|| black_box(*cell.load()))
+    });
+}
+
+fn bench_uncontended_cas(c: &mut Criterion) {
+    let cell = VersionCell::new(0u64);
+    c.bench_function("version_cell/cas_uncontended", |b| {
+        b.iter(|| {
+            let cur = cell.load();
+            cell.compare_exchange(&cur, Arc::new(*cur + 1)).unwrap();
+        })
+    });
+}
+
+fn bench_contended_cas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_cell/cas_contended");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.bench_function("2_threads", |b| {
+        b.iter_custom(|iters| {
+            let cell = VersionCell::new(0u64);
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        for _ in 0..iters {
+                            let mut cur = cell.load();
+                            loop {
+                                match cell.compare_exchange(&cur, Arc::new(*cur + 1)) {
+                                    Ok(()) => break,
+                                    Err(e) => cur = e.current,
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            start.elapsed() / 2
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_load, bench_uncontended_cas, bench_contended_cas);
+criterion_main!(benches);

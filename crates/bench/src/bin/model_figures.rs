@@ -1,0 +1,204 @@
+//! Regenerates the paper's analysis figures from the Appendix-A model
+//! simulator (and Fig. 1 from the real persistent treap).
+//!
+//! ```text
+//! model_figures [--fig 1|2|34|5|speedup|alloc|all] [--n 1048576] [--r 100]
+//!               [--m 32768] [--ops 20000] [--seed 42] [--csv]
+//! ```
+//!
+//! * `--fig 1`      — §3 worked example: node sharing and serialized
+//!   uncached loads for the insert(5)/insert(75) scenario.
+//! * `--fig 2`      — per-level cache hit rates (upper levels cached).
+//! * `--fig 34`     — attempts per operation vs P (round-robin schedule).
+//! * `--fig 5`      — modified nodes on the retried path (≤ 2 expected).
+//! * `--fig speedup`— §3.1 speedup curve: simulated vs closed form.
+//! * `--fig alloc`  — Appendix-B allocator-bottleneck decline.
+
+use pathcopy_bench::cli::Args;
+use pathcopy_bench::table::Series;
+use pathcopy_sim::{
+    alloc_bottleneck_curve, fig2_level_hit_rates, fig34_retry_series, fig5_modified_on_path,
+    speedup_curve,
+};
+use pathcopy_trees::{sharing, TreapMap};
+
+fn main() {
+    let args = Args::from_env();
+    let fig = args.get("fig").unwrap_or("all").to_string();
+    let n: u64 = args.get_or("n", 1 << 20);
+    let r: u64 = args.get_or("r", 100);
+    let m: usize = args.get_or("m", 1 << 15);
+    let ops: u64 = args.get_or("ops", 20_000);
+    let seed: u64 = args.get_or("seed", 42);
+    let csv = args.has_flag("csv");
+
+    assert!(n.is_power_of_two(), "--n must be a power of two");
+    let all = fig == "all";
+
+    let emit = |s: &Series| {
+        if csv {
+            print!("{}", s.to_csv());
+        } else {
+            println!("{}", s.render());
+        }
+    };
+
+    if all || fig == "1" {
+        fig1_sharing_example();
+    }
+
+    if all || fig == "2" {
+        let series = fig2_level_hit_rates(n, m, r, ops, seed);
+        emit(&Series {
+            title: format!(
+                "Fig 2 — per-level cache hit rate (sequential, N=2^{}, M=2^{}):\n\
+                 upper ~log M levels cached, lower levels in RAM",
+                n.trailing_zeros(),
+                (m as u64).trailing_zeros()
+            ),
+            columns: vec!["level".into(), "hit_rate".into()],
+            rows: series
+                .iter()
+                .map(|pt| vec![pt.level as f64, pt.hit_rate])
+                .collect(),
+        });
+    }
+
+    if all || fig == "34" {
+        let ps = [1, 2, 4, 8, 16, 32];
+        let series = fig34_retry_series(&ps, n.min(1 << 14), r, ops.min(8_000), seed);
+        emit(&Series {
+            title: "Fig 3/4 — attempts per committed operation vs P \
+                    (model: nearly every success preceded by P-1 failures)"
+                .into(),
+            columns: vec!["P".into(), "attempts_per_op".into(), "model(P)".into()],
+            rows: series
+                .iter()
+                .map(|pt| vec![pt.p as f64, pt.attempts_per_op, pt.model])
+                .collect(),
+        });
+    }
+
+    if all || fig == "5" {
+        let data = fig5_modified_on_path(8, n.min(1 << 14), r, ops.min(8_000), seed);
+        let mut rows: Vec<Vec<f64>> = data
+            .hist
+            .iter()
+            .enumerate()
+            .skip(1)
+            .take(10)
+            .map(|(k, &frac)| {
+                let model = data.model_pmf.get(k - 1).copied().unwrap_or(0.0);
+                vec![k as f64, frac, model]
+            })
+            .collect();
+        rows.push(vec![f64::NAN, data.measured_mean, data.model_mean]);
+        emit(&Series {
+            title: format!(
+                "Fig 5 — modified nodes on the retried path (last row: means; \
+                 measured {:.3} vs model bound {:.3})",
+                data.measured_mean, data.model_mean
+            ),
+            columns: vec!["k".into(), "measured_frac".into(), "model_pmf".into()],
+            rows,
+        });
+    }
+
+    if all || fig == "speedup" {
+        let ps = [1, 2, 4, 8, 10, 16, 17, 24, 32, 48, 63];
+        let series = speedup_curve(&ps, n.min(1 << 16), m.min(1 << 12), r, ops.min(8_000), seed);
+        emit(&Series {
+            title: "S 3.1 — speedup vs P: simulated private-cache model vs closed form".into(),
+            columns: vec!["P".into(), "simulated".into(), "analytic".into()],
+            rows: series
+                .iter()
+                .map(|pt| vec![pt.p as f64, pt.simulated, pt.analytic])
+                .collect(),
+        });
+    }
+
+    if all || fig == "alloc" {
+        let ps = [1, 4, 8, 16, 32, 63];
+        let series = alloc_bottleneck_curve(
+            &ps,
+            n.min(1 << 14),
+            m.min(1 << 10),
+            r,
+            6,
+            ops.min(6_000),
+            seed,
+        );
+        emit(&Series {
+            title: "Appendix B — allocator bottleneck: speedup with free vs serialized allocation \
+                    (the paper's decline at large P)"
+                .into(),
+            columns: vec![
+                "P".into(),
+                "speedup_free_alloc".into(),
+                "speedup_serialized_alloc".into(),
+            ],
+            rows: series
+                .iter()
+                .map(|pt| vec![pt.p as f64, pt.speedup_free, pt.speedup_alloc])
+                .collect(),
+        });
+    }
+}
+
+/// Fig. 1 + the §3 worked example, on the real persistent treap: build the
+/// seven-node tree {10,20,30,40,50,60,70}, insert 5 and 75, and count
+/// shared vs copied nodes and cached vs uncached loads.
+fn fig1_sharing_example() {
+    // Priorities forced so the tree is exactly the paper's:
+    //              40
+    //          30      50
+    //        20           60
+    //      10                70
+    let keys_with_priorities: &[(i64, u64)] = &[
+        (40, 700),
+        (30, 600),
+        (50, 600),
+        (20, 500),
+        (60, 500),
+        (10, 400),
+        (70, 400),
+    ];
+    let mut v0: TreapMap<i64, ()> = TreapMap::new();
+    for &(k, prio) in keys_with_priorities {
+        v0 = v0.insert_with_priority(k, (), prio).0;
+    }
+    v0.check_invariants();
+
+    // Sequential: insert 5 (path 40,30,20,10 -> 4 uncached loads), then
+    // insert 75 (path 40,50,60,70; 40 already cached -> 3 uncached).
+    let path5 = v0.path_len(&5);
+    let (v1, _) = v0.insert_with_priority(5, (), 300);
+    let path75 = v1.path_len(&75);
+    let seq_uncached = path5 + (path75 - 1); // node 40 cached after insert(5)
+
+    // Concurrent: P inserts 5 (4 loads), Q inserts 75 (4 loads) in
+    // parallel; Q retries on P's version and pays only the renewed nodes.
+    let (vp, _) = v0.insert_with_priority(5, (), 300);
+    let (vq_retry_base, _) = vp.insert_with_priority(75, (), 300);
+    let q_retry_uncached = sharing::uncached_on_retry(&v0, &vp, &75);
+    let conc_serialized = path5.max(path75) + q_retry_uncached;
+
+    let stats = sharing::sharing_stats(&v0, &vp);
+    println!(
+        "Fig 1 - path copying shares nodes between versions (paper's S3 example)\n\
+         ------------------------------------------------------------------\n\
+         tree {{10..70}}, insert(5): old version {} nodes, new version {} nodes\n\
+         shared {}, copied (fresh) {}, retired {}\n",
+        stats.old_nodes, stats.new_nodes, stats.shared, stats.fresh, stats.retired
+    );
+    println!(
+        "S3 worked example - serialized uncached loads\n\
+         ---------------------------------------------\n\
+         sequential (insert 5 then 75): {seq_uncached} uncached loads (paper: 7)\n\
+         concurrent (P wins, Q retries): {} + {q_retry_uncached} = {conc_serialized} serialized \
+         uncached loads (paper: 4 + 1 = 5)\n\
+         Q's retry pays only the nodes P renewed on the shared prefix: {q_retry_uncached}\n",
+        path5.max(path75)
+    );
+    vq_retry_base.check_invariants();
+}

@@ -1,0 +1,28 @@
+//! # pathcopy-bench
+//!
+//! Benchmark harness regenerating every table and figure of *Unexpected
+//! Scaling in Path Copying Trees*:
+//!
+//! * [`harness`] — the §4 / Appendix-B result tables (Batch + Random
+//!   workloads, paper machine profiles);
+//! * [`measure`] — duration-based throughput trials with mean/σ;
+//! * [`sets`] — a uniform façade over every structure compared;
+//! * [`table`] — paper-format table and series rendering;
+//! * [`alloc_counter`] — a counting global allocator for the Appendix-B
+//!   allocation-pressure measurements;
+//! * [`cli`] — dependency-free argument parsing for the binaries.
+//!
+//! Binaries: `paper_tables` (the result tables), `model_figures` (the
+//! Appendix-A model figures), `fig_modified_nodes` (Fig. 5 on the real
+//! treap), `ablations` (no-op skip, backoff, structures, locks,
+//! allocation rate).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc_counter;
+pub mod cli;
+pub mod harness;
+pub mod measure;
+pub mod sets;
+pub mod table;

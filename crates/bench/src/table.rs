@@ -1,0 +1,210 @@
+//! Paper-format table rendering and CSV export.
+//!
+//! The paper's tables look like:
+//!
+//! ```text
+//! Workload  Seq Treap  UC 1p  UC 4p  UC 10p  UC 17p
+//! Batch     451 940    0.89x  1.23x  1.47x   1.47x
+//! Random    419 736    1.48x  2.38x  3.07x   3.19x
+//! ```
+//!
+//! [`PaperTable`] reproduces that layout; [`Series`] renders generic
+//! two-column figure data.
+
+use std::fmt::Write as _;
+
+/// One row of a paper-style results table.
+#[derive(Debug, Clone)]
+pub struct PaperRow {
+    /// Workload name ("Batch", "Random", …).
+    pub workload: String,
+    /// Sequential-baseline throughput in ops/sec.
+    pub seq_ops_per_sec: f64,
+    /// `(process count, speedup over baseline)` per UC column.
+    pub speedups: Vec<(usize, f64)>,
+}
+
+/// A paper-style results table.
+#[derive(Debug, Clone)]
+pub struct PaperTable {
+    /// Caption printed above the table.
+    pub title: String,
+    /// Table rows; all rows must use the same process counts.
+    pub rows: Vec<PaperRow>,
+}
+
+impl PaperTable {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let procs: Vec<usize> = self
+            .rows
+            .first()
+            .map(|r| r.speedups.iter().map(|&(p, _)| p).collect())
+            .unwrap_or_default();
+        let mut header = format!("{:<10} {:>12}", "Workload", "Seq Treap");
+        for p in &procs {
+            let _ = write!(header, " {:>8}", format!("UC {p}p"));
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let mut line = format!(
+                "{:<10} {:>12}",
+                row.workload,
+                group_thousands(row.seq_ops_per_sec as u64)
+            );
+            for &(_, s) in &row.speedups {
+                let _ = write!(line, " {:>8}", format!("{s:.2}x"));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (`workload,seq_ops_per_sec,p,speedup`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,seq_ops_per_sec,processes,speedup\n");
+        for row in &self.rows {
+            for &(p, s) in &row.speedups {
+                let _ = writeln!(
+                    out,
+                    "{},{:.0},{},{:.4}",
+                    row.workload, row.seq_ops_per_sec, p, s
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Formats `451940` as `451 940` (the paper's number style).
+pub fn group_thousands(mut n: u64) -> String {
+    if n == 0 {
+        return "0".to_string();
+    }
+    let mut groups = Vec::new();
+    while n > 0 {
+        groups.push((n % 1000) as u16);
+        n /= 1000;
+    }
+    let mut out = String::new();
+    for (i, g) in groups.iter().rev().enumerate() {
+        if i == 0 {
+            let _ = write!(out, "{g}");
+        } else {
+            let _ = write!(out, " {g:03}");
+        }
+    }
+    out
+}
+
+/// A generic labelled numeric series (figure data as text).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Caption printed above the series.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Renders aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let mut header = String::new();
+        for c in &self.columns {
+            let _ = write!(header, "{c:>14}");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for v in row {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(line, "{:>14}", *v as i64);
+                } else {
+                    let _ = write!(line, "{v:>14.4}");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1 000");
+        assert_eq!(group_thousands(451_940), "451 940");
+        assert_eq!(group_thousands(1_000_001), "1 000 001");
+    }
+
+    #[test]
+    fn paper_table_layout() {
+        let t = PaperTable {
+            title: "Results".into(),
+            rows: vec![PaperRow {
+                workload: "Batch".into(),
+                seq_ops_per_sec: 451_940.0,
+                speedups: vec![(1, 0.89), (4, 1.23)],
+            }],
+        };
+        let s = t.render();
+        assert!(s.contains("UC 1p"));
+        assert!(s.contains("UC 4p"));
+        assert!(s.contains("451 940"));
+        assert!(s.contains("0.89x"));
+    }
+
+    #[test]
+    fn paper_table_csv() {
+        let t = PaperTable {
+            title: "x".into(),
+            rows: vec![PaperRow {
+                workload: "Random".into(),
+                seq_ops_per_sec: 10.0,
+                speedups: vec![(4, 2.0)],
+            }],
+        };
+        let csv = t.to_csv();
+        assert!(csv.starts_with("workload,"));
+        assert!(csv.contains("Random,10,4,2.0000"));
+    }
+
+    #[test]
+    fn series_render_and_csv() {
+        let s = Series {
+            title: "Fig".into(),
+            columns: vec!["p".into(), "speedup".into()],
+            rows: vec![vec![1.0, 0.9], vec![4.0, 1.5]],
+        };
+        let txt = s.render();
+        assert!(txt.contains("speedup"));
+        let csv = s.to_csv();
+        assert!(csv.contains("p,speedup"));
+        assert!(csv.contains("4,1.5"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # pathcopy-concurrent
+//!
+//! Ready-made concurrent data structures obtained by applying the
+//! path-copying universal construction (`pathcopy-core`) to the
+//! persistent structures of `pathcopy-trees`.
+//!
+//! All structures are linearizable; updates are lock-free, reads are
+//! wait-free, and `snapshot()` returns an immutable point-in-time view in
+//! O(1) that never blocks writers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod composite;
+pub mod ebst_set;
+pub mod locked;
+pub mod more;
+pub mod treap_map;
+pub mod treap_set;
+
+pub use composite::Composite;
+pub use ebst_set::ExternalBstSet;
+pub use locked::{LockedTreapSet, RwLockedTreapSet};
+pub use more::{AvlSet, Queue, RbSet, Stack};
+pub use treap_map::TreapMap;
+pub use treap_set::TreapSet;

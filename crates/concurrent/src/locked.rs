@@ -1,0 +1,191 @@
+//! Lock-protected baselines with the same API surface as the lock-free
+//! sets — the "simplest UC" from the paper's introduction.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use pathcopy_core::{MutexUc, RwLockUc, Update};
+use pathcopy_trees::treap;
+
+/// Treap set protected by one global mutex (reads and writes serialize).
+pub struct LockedTreapSet<K> {
+    uc: MutexUc<treap::TreapSet<K>>,
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> Default for LockedTreapSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> LockedTreapSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        LockedTreapSet {
+            uc: MutexUc::new(treap::TreapSet::empty()),
+        }
+    }
+
+    /// Creates a set from a prebuilt persistent version.
+    pub fn from_version(initial: treap::TreapSet<K>) -> Self {
+        LockedTreapSet {
+            uc: MutexUc::new(initial),
+        }
+    }
+
+    /// Inserts `key`; `true` if the set changed.
+    pub fn insert(&self, key: K) -> bool {
+        self.uc.update(move |set| match set.insert(key) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// Removes `key`; `true` if the set changed.
+    pub fn remove(&self, key: &K) -> bool {
+        self.uc.update(|set| match set.remove(key) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.uc.read(|set| set.contains(key))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.uc.read(|set| set.len())
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time snapshot (persistent versions make this O(1) even
+    /// under a mutex).
+    pub fn snapshot(&self) -> Arc<treap::TreapSet<K>> {
+        self.uc.snapshot()
+    }
+}
+
+/// Treap set protected by a readers–writer lock (parallel reads,
+/// exclusive writes).
+pub struct RwLockedTreapSet<K> {
+    uc: RwLockUc<treap::TreapSet<K>>,
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> Default for RwLockedTreapSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> RwLockedTreapSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RwLockedTreapSet {
+            uc: RwLockUc::new(treap::TreapSet::empty()),
+        }
+    }
+
+    /// Creates a set from a prebuilt persistent version.
+    pub fn from_version(initial: treap::TreapSet<K>) -> Self {
+        RwLockedTreapSet {
+            uc: RwLockUc::new(initial),
+        }
+    }
+
+    /// Inserts `key`; `true` if the set changed.
+    pub fn insert(&self, key: K) -> bool {
+        self.uc.update(move |set| match set.insert(key) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// Removes `key`; `true` if the set changed.
+    pub fn remove(&self, key: &K) -> bool {
+        self.uc.update(|set| match set.remove(key) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// `true` if `key` is present (shared lock).
+    pub fn contains(&self, key: &K) -> bool {
+        self.uc.read(|set| set.contains(key))
+    }
+
+    /// Number of keys (shared lock).
+    pub fn len(&self) -> usize {
+        self.uc.read(|set| set.len())
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> Arc<treap::TreapSet<K>> {
+        self.uc.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_set_correct_under_threads() {
+        let s = LockedTreapSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4i64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..200 {
+                        assert!(s.insert(t * 200 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 800);
+        assert!(s.contains(&799));
+        assert!(!s.contains(&800));
+    }
+
+    #[test]
+    fn rwlock_set_correct_under_threads() {
+        let s = RwLockedTreapSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4i64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..200 {
+                        assert!(s.insert(t * 200 + i));
+                    }
+                });
+            }
+            let s = &s;
+            sc.spawn(move || {
+                for _ in 0..100 {
+                    let _ = s.len();
+                }
+            });
+        });
+        assert_eq!(s.len(), 800);
+    }
+
+    #[test]
+    fn locked_snapshots_are_persistent_too() {
+        let s = LockedTreapSet::new();
+        s.insert(1);
+        let snap = s.snapshot();
+        s.remove(&1);
+        assert!(snap.contains(&1));
+        assert!(!s.contains(&1));
+    }
+}

@@ -1,0 +1,349 @@
+//! Additional UC front-ends: AVL and red–black sets, a Treiber-equivalent
+//! stack, and a FIFO queue — demonstrating the construction's
+//! structure-agnosticism (§2: any rooted persistent structure works).
+
+use std::sync::Arc;
+
+use pathcopy_core::{PathCopyUc, UcStats, Update};
+use pathcopy_trees::{avl, list::PStack, queue::PQueue, rbtree};
+
+/// Lock-free concurrent ordered set backed by a persistent AVL tree.
+pub struct AvlSet<K> {
+    uc: PathCopyUc<avl::AvlSet<K>>,
+}
+
+impl<K: Ord + Clone + Send + Sync> Default for AvlSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> AvlSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AvlSet {
+            uc: PathCopyUc::new(avl::AvlSet::new()),
+        }
+    }
+
+    /// Creates a set from a prebuilt persistent version.
+    pub fn from_version(initial: avl::AvlSet<K>) -> Self {
+        AvlSet {
+            uc: PathCopyUc::new(initial),
+        }
+    }
+
+    /// Inserts `key`; `true` if the set changed (no CAS when present).
+    pub fn insert(&self, key: K) -> bool {
+        self.uc.update(move |set| match set.insert(key.clone()) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// Removes `key`; `true` if the set changed (no CAS when absent).
+    pub fn remove(&self, key: &K) -> bool {
+        self.uc.update(|set| match set.remove(key) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// `true` if present. Wait-free.
+    pub fn contains(&self, key: &K) -> bool {
+        self.uc.read(|set| set.contains(key))
+    }
+
+    /// Number of keys. Wait-free.
+    pub fn len(&self) -> usize {
+        self.uc.read(|set| set.len())
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable point-in-time snapshot.
+    pub fn snapshot(&self) -> Arc<avl::AvlSet<K>> {
+        self.uc.snapshot()
+    }
+
+    /// Attempt/retry statistics.
+    pub fn stats(&self) -> &Arc<UcStats> {
+        self.uc.stats()
+    }
+}
+
+/// Lock-free concurrent ordered set backed by a persistent red–black
+/// tree.
+pub struct RbSet<K> {
+    uc: PathCopyUc<rbtree::RbSet<K>>,
+}
+
+impl<K: Ord + Clone + Send + Sync> Default for RbSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> RbSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RbSet {
+            uc: PathCopyUc::new(rbtree::RbSet::new()),
+        }
+    }
+
+    /// Creates a set from a prebuilt persistent version.
+    pub fn from_version(initial: rbtree::RbSet<K>) -> Self {
+        RbSet {
+            uc: PathCopyUc::new(initial),
+        }
+    }
+
+    /// Inserts `key`; `true` if the set changed.
+    pub fn insert(&self, key: K) -> bool {
+        self.uc.update(move |set| match set.insert(key.clone()) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// Removes `key`; `true` if the set changed.
+    pub fn remove(&self, key: &K) -> bool {
+        self.uc.update(|set| match set.remove(key) {
+            Some(next) => Update::Replace(next, true),
+            None => Update::Keep(false),
+        })
+    }
+
+    /// `true` if present. Wait-free.
+    pub fn contains(&self, key: &K) -> bool {
+        self.uc.read(|set| set.contains(key))
+    }
+
+    /// Number of keys. Wait-free.
+    pub fn len(&self) -> usize {
+        self.uc.read(|set| set.len())
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable point-in-time snapshot.
+    pub fn snapshot(&self) -> Arc<rbtree::RbSet<K>> {
+        self.uc.snapshot()
+    }
+
+    /// Attempt/retry statistics.
+    pub fn stats(&self) -> &Arc<UcStats> {
+        self.uc.stats()
+    }
+}
+
+/// Lock-free concurrent LIFO stack over the persistent list (the UC
+/// specializes to a Treiber stack: the "path copy" of a list push is
+/// empty).
+pub struct Stack<T> {
+    uc: PathCopyUc<PStack<T>>,
+}
+
+impl<T: Clone + Send + Sync> Default for Stack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + Send + Sync> Stack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Stack {
+            uc: PathCopyUc::new(PStack::new()),
+        }
+    }
+
+    /// Pushes `value`.
+    pub fn push(&self, value: T) {
+        self.uc
+            .update(move |s| Update::Replace(s.push(value.clone()), ()));
+    }
+
+    /// Pops the top element; `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.uc.update(|s| match s.pop() {
+            Some((next, v)) => Update::Replace(next, Some(v)),
+            None => Update::Keep(None),
+        })
+    }
+
+    /// Top element, if any. Wait-free.
+    pub fn peek(&self) -> Option<T> {
+        self.uc.read(|s| s.peek().cloned())
+    }
+
+    /// Number of elements. Wait-free.
+    pub fn len(&self) -> usize {
+        self.uc.read(|s| s.len())
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable point-in-time snapshot.
+    pub fn snapshot(&self) -> Arc<PStack<T>> {
+        self.uc.snapshot()
+    }
+}
+
+/// Lock-free concurrent FIFO queue over the persistent two-stack queue.
+pub struct Queue<T> {
+    uc: PathCopyUc<PQueue<T>>,
+}
+
+impl<T: Clone + Send + Sync> Default for Queue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + Send + Sync> Queue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Queue {
+            uc: PathCopyUc::new(PQueue::new()),
+        }
+    }
+
+    /// Enqueues `value` at the back.
+    pub fn push_back(&self, value: T) {
+        self.uc
+            .update(move |q| Update::Replace(q.push_back(value.clone()), ()));
+    }
+
+    /// Dequeues the front element; `None` if empty.
+    pub fn pop_front(&self) -> Option<T> {
+        self.uc.update(|q| match q.pop_front() {
+            Some((next, v)) => Update::Replace(next, Some(v)),
+            None => Update::Keep(None),
+        })
+    }
+
+    /// Number of elements. Wait-free.
+    pub fn len(&self) -> usize {
+        self.uc.read(|q| q.len())
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable point-in-time snapshot.
+    pub fn snapshot(&self) -> Arc<PQueue<T>> {
+        self.uc.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avl_set_concurrent_inserts() {
+        let s = AvlSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4i64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..200 {
+                        assert!(s.insert(t * 200 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 800);
+        s.snapshot().check_invariants();
+    }
+
+    #[test]
+    fn rb_set_concurrent_inserts_and_removes() {
+        let s = RbSet::new();
+        std::thread::scope(|sc| {
+            for t in 0..4i64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..150 {
+                        assert!(s.insert(t * 150 + i));
+                    }
+                    for i in 0..150 {
+                        assert!(s.remove(&(t * 150 + i)));
+                    }
+                });
+            }
+        });
+        assert!(s.is_empty());
+        s.snapshot().check_invariants();
+    }
+
+    #[test]
+    fn stack_no_lost_elements() {
+        let s: Stack<u64> = Stack::new();
+        let popped = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|sc| {
+            for t in 0..2u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..500 {
+                        s.push(t * 1000 + i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let s = &s;
+                let popped = &popped;
+                sc.spawn(move || {
+                    let mut local = Vec::new();
+                    for _ in 0..400 {
+                        if let Some(v) = s.pop() {
+                            local.push(v);
+                        }
+                    }
+                    popped.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = popped.into_inner().unwrap();
+        let remaining: Vec<u64> = s.snapshot().iter().copied().collect();
+        all.extend(remaining);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "elements lost or duplicated");
+    }
+
+    #[test]
+    fn queue_preserves_per_producer_order() {
+        let q: Queue<u64> = Queue::new();
+        std::thread::scope(|sc| {
+            let q = &q;
+            sc.spawn(move || {
+                for i in 0..500 {
+                    q.push_back(i);
+                }
+            });
+        });
+        // Single consumer drains in order.
+        let mut last = None;
+        while let Some(v) = q.pop_front() {
+            if let Some(prev) = last {
+                assert!(v > prev, "FIFO violated: {v} after {prev}");
+            }
+            last = Some(v);
+        }
+        assert_eq!(last, Some(499));
+    }
+}

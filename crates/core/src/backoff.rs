@@ -1,0 +1,127 @@
+//! Retry backoff policies for the update loop.
+//!
+//! The paper's construction retries immediately after a failed CAS — the
+//! whole point of the analysis is that an *immediate* retry runs mostly
+//! from the process's warm cache. Backoff is therefore **off by default**
+//! ([`BackoffPolicy::None`]), but the ablation benchmarks (`ablations
+//! --backoff`) measure what spinning or yielding between attempts does to
+//! the scaling curve.
+
+use std::num::NonZeroU32;
+
+/// What to do between a failed CAS and the next attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffPolicy {
+    /// Retry immediately (the paper's behaviour).
+    None,
+    /// Exponential spinning: attempt `k` spins `min(2^k, 2^limit)` times.
+    ExponentialSpin {
+        /// Cap exponent: the longest spin is `2^limit` pause instructions.
+        limit: u32,
+    },
+    /// Spin a fixed number of pause instructions between attempts.
+    FixedSpin {
+        /// Number of pause instructions per failed attempt.
+        spins: NonZeroU32,
+    },
+    /// Yield the OS thread between attempts. Relevant when the system is
+    /// oversubscribed (more worker threads than hardware threads).
+    Yield,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy::None
+    }
+}
+
+impl BackoffPolicy {
+    /// Convenience constructor for [`BackoffPolicy::ExponentialSpin`] with
+    /// the conventional cap of `2^10` spins.
+    pub fn exponential() -> Self {
+        BackoffPolicy::ExponentialSpin { limit: 10 }
+    }
+
+    /// Creates the per-operation state for this policy.
+    pub fn start(self) -> Backoff {
+        Backoff {
+            policy: self,
+            failures: 0,
+        }
+    }
+}
+
+/// Per-operation backoff state; created once per high-level operation and
+/// consulted after every failed attempt.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    failures: u32,
+}
+
+impl Backoff {
+    /// Records a failed attempt and waits according to the policy.
+    pub fn wait(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+        match self.policy {
+            BackoffPolicy::None => {}
+            BackoffPolicy::ExponentialSpin { limit } => {
+                let exp = self.failures.min(limit);
+                for _ in 0..(1u64 << exp) {
+                    std::hint::spin_loop();
+                }
+            }
+            BackoffPolicy::FixedSpin { spins } => {
+                for _ in 0..spins.get() {
+                    std::hint::spin_loop();
+                }
+            }
+            BackoffPolicy::Yield => std::thread::yield_now(),
+        }
+    }
+
+    /// Number of failures recorded so far in this operation.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(BackoffPolicy::default(), BackoffPolicy::None);
+    }
+
+    #[test]
+    fn wait_counts_failures() {
+        let mut b = BackoffPolicy::None.start();
+        for _ in 0..5 {
+            b.wait();
+        }
+        assert_eq!(b.failures(), 5);
+    }
+
+    #[test]
+    fn exponential_spin_terminates_at_cap() {
+        let mut b = BackoffPolicy::ExponentialSpin { limit: 3 }.start();
+        for _ in 0..40 {
+            b.wait(); // must not overflow the shift even after many failures
+        }
+        assert_eq!(b.failures(), 40);
+    }
+
+    #[test]
+    fn fixed_and_yield_terminate() {
+        let mut b = BackoffPolicy::FixedSpin {
+            spins: NonZeroU32::new(16).unwrap(),
+        }
+        .start();
+        b.wait();
+        let mut y = BackoffPolicy::Yield.start();
+        y.wait();
+        assert_eq!(y.failures(), 1);
+    }
+}

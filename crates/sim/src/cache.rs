@@ -1,0 +1,271 @@
+//! Private per-process cache model: an LRU set of node identities.
+//!
+//! The paper's model gives each process "its own cache of size `M`";
+//! loading a cached node costs 1 tick, an uncached node costs `R` ticks.
+//! This module provides the cache itself; the cost accounting lives in
+//! the simulators.
+//!
+//! Implementation: classic O(1) LRU — a slab-backed doubly linked list
+//! ordered by recency plus a hash map from node id to slab slot.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU set of `u64` node identities.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates an empty cache holding at most `capacity` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity + 1),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached ids.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in ids.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (hits, misses) recorded by [`access`](Self::access).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// `true` if `id` is cached, without touching recency or stats.
+    pub fn peek(&self, id: u64) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Simulates a load of `id`: returns `true` on a hit. Either way `id`
+    /// ends up most-recently-used (a miss fetches it, evicting the LRU
+    /// entry if the cache is full).
+    pub fn access(&mut self, id: u64) -> bool {
+        if let Some(&slot) = self.map.get(&id) {
+            self.hits += 1;
+            self.detach(slot);
+            self.attach_front(slot);
+            true
+        } else {
+            self.misses += 1;
+            self.insert_front(id);
+            false
+        }
+    }
+
+    /// Inserts `id` as most-recently-used without counting a hit or miss
+    /// (used for nodes the process itself just created — they enter its
+    /// cache by being written).
+    pub fn install(&mut self, id: u64) {
+        if let Some(&slot) = self.map.get(&id) {
+            self.detach(slot);
+            self.attach_front(slot);
+        } else {
+            self.insert_front(id);
+        }
+    }
+
+    /// Drops everything (keeps capacity and counters).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn insert_front(&mut self, id: u64) {
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry {
+                    id,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    id,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(id, slot);
+        self.attach_front(slot);
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict on empty cache");
+        let id = self.slab[victim].id;
+        self.detach(victim);
+        self.map.remove(&id);
+        self.free.push(victim);
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let Entry { prev, next, .. } = self.slab[slot];
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// The least-recently-used id, if any (for tests).
+    pub fn lru_id(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.slab[self.tail].id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1)); // miss
+        assert!(c.access(1)); // hit
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.peek(1));
+        assert!(!c.peek(2));
+        assert!(c.peek(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn install_does_not_count_stats() {
+        let mut c = LruCache::new(2);
+        c.install(7);
+        assert_eq!(c.stats(), (0, 0));
+        assert!(c.access(7));
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn install_respects_capacity() {
+        let mut c = LruCache::new(2);
+        c.install(1);
+        c.install(2);
+        c.install(3);
+        assert_eq!(c.len(), 2);
+        assert!(!c.peek(1), "oldest install evicted");
+    }
+
+    #[test]
+    fn lru_order_tracks_accesses() {
+        let mut c = LruCache::new(3);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        assert_eq!(c.lru_id(), Some(1));
+        c.access(1);
+        assert_eq!(c.lru_id(), Some(2));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.access(i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.peek(0));
+        // Reusable afterwards.
+        c.access(9);
+        assert!(c.peek(9));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = LruCache::new(64);
+        for i in 0..10_000u64 {
+            c.access(i % 512);
+        }
+        assert_eq!(c.len(), 64);
+        let (hits, misses) = c.stats();
+        assert_eq!(hits + misses, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::new(0);
+    }
+}

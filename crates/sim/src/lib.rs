@@ -1,0 +1,37 @@
+//! # pathcopy-sim
+//!
+//! Executable form of the paper's Appendix-A model: synchronous
+//! processes, private per-process LRU caches, unit-cost cached loads and
+//! cost-`R` RAM loads, over a perfectly balanced external tree whose
+//! updates are path copies.
+//!
+//! The simulator exists because the *explanation* of the paper's
+//! unexpected scaling is a cache argument, and that argument can be run:
+//! [`conc::simulate_concurrent`] reproduces the retry schedule (Fig. 3/4),
+//! the modified-nodes-on-path distribution (Fig. 5) and the speedup
+//! formula of §3.1, while [`seq::simulate_sequential`] reproduces the
+//! sequential cost baseline and the cached-levels picture (Fig. 2).
+//! [`analytic`] holds the closed forms to compare against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analytic;
+pub mod cache;
+pub mod conc;
+pub mod experiments;
+pub mod seq;
+pub mod tree;
+
+pub use analytic::{
+    asymptotic_speedup, conc_cost_per_op, expected_modified_on_path, model_speedup,
+    seq_cost_per_op,
+};
+pub use cache::LruCache;
+pub use conc::{simulate_concurrent, ConcConfig, ConcResult};
+pub use experiments::{
+    alloc_bottleneck_curve, fig2_level_hit_rates, fig34_retry_series, fig5_modified_on_path,
+    speedup_curve,
+};
+pub use seq::{simulate_sequential, CacheModel, SeqConfig, SeqResult};
+pub use tree::ModelTree;

@@ -1,0 +1,335 @@
+//! Sequential execution simulator (Appendix A.1).
+//!
+//! One process executes `ops` successful updates on uniformly random
+//! keys. Each update traverses the root-to-leaf path (1 tick per cache
+//! hit, `R` ticks per miss under a private LRU cache of size `M`) and
+//! then commits a path copy, whose fresh nodes enter the cache because
+//! the process wrote them.
+//!
+//! The measured mean cost per operation should approach the closed form
+//! `log M + R (log N − log M)` once the cache is warm.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::LruCache;
+use crate::tree::ModelTree;
+
+/// Which cache mechanism the sequential simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheModel {
+    /// A real LRU of capacity `M`. Close to the formula but with a soft
+    /// band of partially-cached levels around `log M` instead of the
+    /// paper's sharp threshold.
+    #[default]
+    Lru,
+    /// The paper's idealization, verbatim: "approximately upper `log M`
+    /// levels of the tree are cached". A node hits iff its tree position
+    /// is `< M` (exactly the top `log₂ M` levels for power-of-two `M`).
+    IdealTopLevels,
+}
+
+/// Parameters of a sequential simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqConfig {
+    /// Tree size (keys); power of two.
+    pub n: u64,
+    /// Private cache capacity in nodes.
+    pub m: usize,
+    /// Cost of an uncached load, in ticks.
+    pub r: u64,
+    /// Number of operations to run after warmup.
+    pub ops: u64,
+    /// Warmup operations (cache filling; not measured).
+    pub warmup: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// If `true`, every operation commits a path copy, renewing the node
+    /// identities along its path (a *persistent* treap run sequentially).
+    /// The paper's A.1 baseline is a plain mutable tree, i.e. `false`;
+    /// the `true` mode quantifies how much the identity churn of path
+    /// copying costs a single process — part of why `UC 1p` trails the
+    /// sequential treap on the Batch workload.
+    pub path_copy: bool,
+    /// Cache mechanism (LRU or the paper's sharp-threshold idealization).
+    pub cache_model: CacheModel,
+}
+
+impl Default for SeqConfig {
+    fn default() -> Self {
+        SeqConfig {
+            n: 1 << 20,
+            m: 1 << 15,
+            r: 100,
+            ops: 20_000,
+            warmup: 20_000,
+            seed: 42,
+            path_copy: false,
+            cache_model: CacheModel::Lru,
+        }
+    }
+}
+
+/// Results of a sequential simulation.
+#[derive(Debug, Clone)]
+pub struct SeqResult {
+    /// Total measured ticks.
+    pub ticks: u64,
+    /// Measured operations.
+    pub ops: u64,
+    /// Mean ticks per operation.
+    pub ticks_per_op: f64,
+    /// Mean uncached loads per operation.
+    pub misses_per_op: f64,
+    /// Mean cache hits per operation.
+    pub hits_per_op: f64,
+    /// Per-level hit rate, root = level 0 (the Fig-2 picture).
+    pub level_hit_rate: Vec<f64>,
+}
+
+/// Runs the Appendix A.1 sequential simulation.
+pub fn simulate_sequential(cfg: SeqConfig) -> SeqResult {
+    let mut tree = ModelTree::new(cfg.n);
+    let mut cache = LruCache::new(cfg.m);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let path_len = tree.path_len();
+
+    let mut ids = Vec::with_capacity(path_len);
+    let mut fresh = Vec::with_capacity(path_len);
+
+    let mut run = |tree: &mut ModelTree,
+                   cache: &mut LruCache,
+                   rng: &mut StdRng,
+                   ops: u64,
+                   measured: bool,
+                   level_hits: &mut [u64],
+                   level_total: &mut [u64]|
+     -> (u64, u64, u64) {
+        let mut ticks = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for _ in 0..ops {
+            let key = rng.gen_range(0..tree.n());
+            tree.path_ids(key, &mut ids);
+            let leaf = tree.n() + key;
+            for (level, &id) in ids.iter().enumerate() {
+                let hit = match cfg.cache_model {
+                    CacheModel::Lru => cache.access(id),
+                    // Position of the path node at this level.
+                    CacheModel::IdealTopLevels => {
+                        (leaf >> (tree.levels() as usize - level)) < cfg.m as u64
+                    }
+                };
+                if hit {
+                    ticks += 1;
+                    hits += 1;
+                    if measured {
+                        level_hits[level] += 1;
+                    }
+                } else {
+                    ticks += cfg.r;
+                    misses += 1;
+                }
+                if measured {
+                    level_total[level] += 1;
+                }
+            }
+            if cfg.path_copy {
+                // Path copy: the process writes the fresh nodes, so they
+                // are in its cache afterwards (and the loaded identities
+                // just became garbage).
+                tree.commit(key, &mut fresh);
+                for &id in &fresh {
+                    cache.install(id);
+                }
+            }
+        }
+        (ticks, hits, misses)
+    };
+
+    let mut level_hits = vec![0u64; path_len];
+    let mut level_total = vec![0u64; path_len];
+
+    // Warmup: fill the cache, discard counters.
+    let _ = run(
+        &mut tree,
+        &mut cache,
+        &mut rng,
+        cfg.warmup,
+        false,
+        &mut level_hits,
+        &mut level_total,
+    );
+
+    let (ticks, hits, misses) = run(
+        &mut tree,
+        &mut cache,
+        &mut rng,
+        cfg.ops,
+        true,
+        &mut level_hits,
+        &mut level_total,
+    );
+
+    let level_hit_rate = level_hits
+        .iter()
+        .zip(&level_total)
+        .map(|(&h, &t)| if t == 0 { 0.0 } else { h as f64 / t as f64 })
+        .collect();
+
+    SeqResult {
+        ticks,
+        ops: cfg.ops,
+        ticks_per_op: ticks as f64 / cfg.ops as f64,
+        misses_per_op: misses as f64 / cfg.ops as f64,
+        hits_per_op: hits as f64 / cfg.ops as f64,
+        level_hit_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::seq_cost_per_op;
+
+    #[test]
+    fn ideal_cache_matches_closed_form_exactly() {
+        // With the paper's sharp-threshold cache, every operation costs
+        // exactly log M cached loads + (path_len - log M) RAM loads.
+        let cfg = SeqConfig {
+            n: 1 << 14,
+            m: 1 << 10,
+            r: 50,
+            ops: 5_000,
+            warmup: 100,
+            seed: 1,
+            path_copy: false,
+            cache_model: CacheModel::IdealTopLevels,
+        };
+        let res = simulate_sequential(cfg);
+        let log_m = 10.0;
+        let exact = log_m + cfg.r as f64 * (15.0 - log_m); // path_len = 15
+        assert!(
+            (res.ticks_per_op - exact).abs() < 1e-9,
+            "ideal-cache cost {} != {}",
+            res.ticks_per_op,
+            exact
+        );
+        // And the closed form (which counts log N rather than log N + 1
+        // path nodes) is within one RAM load of it.
+        let formula = seq_cost_per_op(cfg.n as f64, cfg.m as f64, cfg.r as f64);
+        assert!((res.ticks_per_op - formula).abs() <= cfg.r as f64 + 1e-9);
+    }
+
+    #[test]
+    fn lru_cache_tracks_closed_form_loosely() {
+        let cfg = SeqConfig {
+            n: 1 << 14,
+            m: 1 << 10,
+            r: 50,
+            ops: 5_000,
+            warmup: 5_000,
+            seed: 1,
+            path_copy: false,
+            cache_model: CacheModel::Lru,
+        };
+        let res = simulate_sequential(cfg);
+        let formula = seq_cost_per_op(cfg.n as f64, cfg.m as f64, cfg.r as f64);
+        let ratio = res.ticks_per_op / formula;
+        // A real LRU has a soft band of partially-cached levels around
+        // log M instead of the paper's sharp threshold, costing a couple
+        // of extra misses per op.
+        assert!(
+            (0.7..1.9).contains(&ratio),
+            "simulated {:.1} vs formula {:.1} (ratio {ratio:.2})",
+            res.ticks_per_op,
+            formula
+        );
+        let diff = (cfg.n as f64).log2() - (cfg.m as f64).log2();
+        assert!(res.misses_per_op >= diff - 0.5, "too few misses to be honest");
+        assert!(res.misses_per_op <= diff + 4.0, "LRU band wider than expected");
+    }
+
+    #[test]
+    fn path_copy_churn_costs_extra_sequentially() {
+        // A persistent treap run by one process keeps invalidating its own
+        // cached upper levels: measurably slower than the static baseline.
+        let base = SeqConfig {
+            n: 1 << 14,
+            m: 1 << 10,
+            r: 50,
+            ops: 4_000,
+            warmup: 6_000,
+            seed: 1,
+            path_copy: false,
+            cache_model: CacheModel::Lru,
+        };
+        let static_cost = simulate_sequential(base).ticks_per_op;
+        let copy_cost = simulate_sequential(SeqConfig {
+            path_copy: true,
+            ..base
+        })
+        .ticks_per_op;
+        assert!(
+            copy_cost > static_cost * 1.2,
+            "path copying should cost noticeably more: {copy_cost:.0} vs {static_cost:.0}"
+        );
+    }
+
+    #[test]
+    fn upper_levels_are_cached_lower_are_not() {
+        // The Fig-2 picture: hit rate ~1 near the root, ~0 near leaves.
+        let res = simulate_sequential(SeqConfig {
+            n: 1 << 14,
+            m: 1 << 8,
+            r: 50,
+            ops: 4_000,
+            warmup: 8_000,
+            seed: 2,
+            path_copy: false,
+            cache_model: CacheModel::Lru,
+        });
+        let top = res.level_hit_rate[0];
+        let bottom = *res.level_hit_rate.last().unwrap();
+        assert!(top > 0.95, "root hit rate {top} should be ~1");
+        assert!(bottom < 0.2, "leaf hit rate {bottom} should be ~0");
+        // Monotone-ish decline: first half mean > second half mean.
+        let mid = res.level_hit_rate.len() / 2;
+        let first: f64 = res.level_hit_rate[..mid].iter().sum::<f64>() / mid as f64;
+        let second: f64 =
+            res.level_hit_rate[mid..].iter().sum::<f64>() / (res.level_hit_rate.len() - mid) as f64;
+        assert!(first > second);
+    }
+
+    #[test]
+    fn bigger_cache_is_faster() {
+        let base = SeqConfig {
+            n: 1 << 14,
+            r: 50,
+            ops: 3_000,
+            warmup: 6_000,
+            seed: 3,
+            ..SeqConfig::default()
+        };
+        let small = simulate_sequential(SeqConfig { m: 1 << 6, ..base });
+        let large = simulate_sequential(SeqConfig { m: 1 << 12, ..base });
+        assert!(large.ticks_per_op < small.ticks_per_op);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SeqConfig {
+            n: 1 << 10,
+            m: 64,
+            r: 10,
+            ops: 500,
+            warmup: 500,
+            seed: 99,
+            path_copy: true,
+            cache_model: CacheModel::Lru,
+        };
+        let a = simulate_sequential(cfg);
+        let b = simulate_sequential(cfg);
+        assert_eq!(a.ticks, b.ticks);
+    }
+}

@@ -1,0 +1,203 @@
+//! The model tree: an external, perfectly balanced binary tree over `N`
+//! keys, with path copying expressed as node-identity renewal.
+//!
+//! Appendix A analyses an external balanced BST where an update copies
+//! every node on the root-to-leaf path. For cost purposes the only thing
+//! that matters about a node is its *identity* (is this exact node in a
+//! cache?), so the model tree stores one current identity per tree
+//! position, and a committed update stamps fresh identities along its
+//! path. Old identities are never reused — they are precisely the
+//! "nodes created by another process" that a retrying process has not
+//! cached.
+//!
+//! Positions use implicit heap numbering: root = 1, children of `p` are
+//! `2p` and `2p + 1`. Leaves sit at positions `N .. 2N`; key `k` lives at
+//! leaf `N + k`.
+
+/// Perfectly balanced external tree over keys `0..n` with per-position
+/// node identities.
+#[derive(Debug, Clone)]
+pub struct ModelTree {
+    levels: u32,
+    /// `id_of[p]` = current identity of the node at position `p`
+    /// (1-based; index 0 unused).
+    id_of: Vec<u64>,
+    next_id: u64,
+    commits: u64,
+}
+
+impl ModelTree {
+    /// Creates a tree over `n` keys; `n` must be a power of two ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let levels = n.trailing_zeros();
+        let node_count = 2 * n as usize;
+        let mut id_of = vec![0u64; node_count];
+        // Distinct initial identities.
+        for (p, slot) in id_of.iter_mut().enumerate().skip(1) {
+            *slot = p as u64;
+        }
+        ModelTree {
+            levels,
+            id_of,
+            next_id: node_count as u64,
+            commits: 0,
+        }
+    }
+
+    /// Number of keys (leaves).
+    pub fn n(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Number of levels below the root; the root-to-leaf path has
+    /// `levels + 1` nodes.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Nodes on the root-to-leaf path, root first.
+    pub fn path_len(&self) -> usize {
+        self.levels as usize + 1
+    }
+
+    /// Number of commits so far — the "root version" a CAS validates.
+    pub fn version(&self) -> u64 {
+        self.commits
+    }
+
+    /// Positions on the path from the root to `key`'s leaf, root first.
+    pub fn path_positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(key < self.n());
+        let leaf = self.n() + key;
+        (0..=self.levels).rev().map(move |shift| (leaf >> shift) as usize)
+    }
+
+    /// Current identities on the path to `key`, root first. This is what
+    /// a process "reads" when it traverses the current version.
+    pub fn path_ids(&self, key: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.path_positions(key).map(|p| self.id_of[p]));
+    }
+
+    /// Commits an update on `key`: stamps fresh identities along the path
+    /// (the path copy) and bumps the version. Returns the fresh
+    /// identities (root first) so the committing process can install them
+    /// in its own cache — it wrote those nodes.
+    pub fn commit(&mut self, key: u64, fresh: &mut Vec<u64>) {
+        fresh.clear();
+        let positions: Vec<usize> = self.path_positions(key).collect();
+        for p in positions {
+            self.next_id += 1;
+            self.id_of[p] = self.next_id;
+            fresh.push(self.next_id);
+        }
+        self.commits += 1;
+    }
+
+    /// How many positions the paths to `a` and `b` share (always ≥ 1: the
+    /// root). Exposed for validating the geometric-overlap argument.
+    pub fn shared_prefix(&self, a: u64, b: u64) -> usize {
+        self.path_positions(a)
+            .zip(self.path_positions(b))
+            .take_while(|(x, y)| x == y)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_have_expected_length_and_root() {
+        let t = ModelTree::new(16);
+        assert_eq!(t.levels(), 4);
+        assert_eq!(t.path_len(), 5);
+        for key in 0..16 {
+            let path: Vec<usize> = t.path_positions(key).collect();
+            assert_eq!(path.len(), 5);
+            assert_eq!(path[0], 1, "path must start at the root");
+            assert_eq!(path[4], (16 + key) as usize, "path must end at the leaf");
+            // Each step goes to a child.
+            for w in path.windows(2) {
+                assert!(w[1] == 2 * w[0] || w[1] == 2 * w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn commit_renews_exactly_the_path() {
+        let mut t = ModelTree::new(8);
+        let mut before_hit = Vec::new();
+        t.path_ids(3, &mut before_hit);
+        let mut before_other = Vec::new();
+        t.path_ids(7, &mut before_other);
+
+        let mut fresh = Vec::new();
+        t.commit(3, &mut fresh);
+        assert_eq!(fresh.len(), t.path_len());
+
+        let mut after_hit = Vec::new();
+        t.path_ids(3, &mut after_hit);
+        assert_eq!(after_hit, fresh);
+        assert!(before_hit.iter().all(|id| !after_hit.contains(id)));
+
+        // The other path changed only on the shared prefix.
+        let mut after_other = Vec::new();
+        t.path_ids(7, &mut after_other);
+        let shared = t.shared_prefix(3, 7);
+        assert_eq!(&before_other[shared..], &after_other[shared..]);
+        assert!(before_other[..shared]
+            .iter()
+            .zip(&after_other[..shared])
+            .all(|(b, a)| b != a));
+    }
+
+    #[test]
+    fn version_counts_commits() {
+        let mut t = ModelTree::new(4);
+        assert_eq!(t.version(), 0);
+        let mut fresh = Vec::new();
+        t.commit(0, &mut fresh);
+        t.commit(1, &mut fresh);
+        assert_eq!(t.version(), 2);
+    }
+
+    #[test]
+    fn identities_are_never_reused() {
+        let mut t = ModelTree::new(8);
+        let mut seen = std::collections::HashSet::new();
+        let mut fresh = Vec::new();
+        let mut ids = Vec::new();
+        t.path_ids(0, &mut ids);
+        seen.extend(ids.iter().copied());
+        for key in [0u64, 3, 5, 0, 7] {
+            t.commit(key, &mut fresh);
+            for id in &fresh {
+                assert!(seen.insert(*id), "identity {id} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_geometry() {
+        let t = ModelTree::new(16);
+        // Keys in opposite halves share only the root.
+        assert_eq!(t.shared_prefix(0, 15), 1);
+        // A key shares its whole path with itself.
+        assert_eq!(t.shared_prefix(5, 5), t.path_len());
+        // Adjacent keys under the same parent share all but the leaf.
+        assert_eq!(t.shared_prefix(0, 1), t.path_len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = ModelTree::new(12);
+    }
+}

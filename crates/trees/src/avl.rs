@@ -1,0 +1,604 @@
+//! Persistent AVL tree — a second balanced search tree under the same
+//! universal construction (the paper's approach is structure-agnostic:
+//! "one could imagine generalizing these ideas" to any rooted structure).
+//!
+//! Height-balanced with the classic invariant |h(L) − h(R)| ≤ 1; every
+//! update path-copies the search path plus at most O(log n) rebalancing
+//! copies.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering::{Equal, Greater, Less};
+use std::fmt;
+use std::sync::Arc;
+
+type Link<K, V> = Option<Arc<AvlNode<K, V>>>;
+
+/// Shared, immutable AVL node.
+#[derive(Debug)]
+pub struct AvlNode<K, V> {
+    key: K,
+    value: V,
+    height: u32,
+    size: usize,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+impl<K, V> AvlNode<K, V> {
+    /// The node's key.
+    pub fn key(&self) -> &K {
+        &self.key
+    }
+    /// The node's value.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+    /// Left child.
+    pub fn left(&self) -> Option<&Arc<AvlNode<K, V>>> {
+        self.left.as_ref()
+    }
+    /// Right child.
+    pub fn right(&self) -> Option<&Arc<AvlNode<K, V>>> {
+        self.right.as_ref()
+    }
+}
+
+#[inline]
+fn height<K, V>(l: &Link<K, V>) -> u32 {
+    l.as_ref().map_or(0, |n| n.height)
+}
+
+#[inline]
+fn size<K, V>(l: &Link<K, V>) -> usize {
+    l.as_ref().map_or(0, |n| n.size)
+}
+
+#[inline]
+fn mk<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Arc<AvlNode<K, V>> {
+    Arc::new(AvlNode {
+        height: 1 + height(&left).max(height(&right)),
+        size: 1 + size(&left) + size(&right),
+        key,
+        value,
+        left,
+        right,
+    })
+}
+
+/// Balance factor must stay within ±1; rebuilds the subtree rooted here
+/// with rotations when an update knocked it to ±2.
+fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Arc<AvlNode<K, V>> {
+    let hl = height(&left);
+    let hr = height(&right);
+    if hl > hr + 1 {
+        let l = left.as_ref().expect("left higher than right+1");
+        if height(&l.left) >= height(&l.right) {
+            // Single right rotation.
+            let new_right = mk(key, value, l.right.clone(), right);
+            mk(l.key.clone(), l.value.clone(), l.left.clone(), Some(new_right))
+        } else {
+            // Left-right double rotation.
+            let lr = l.right.as_ref().expect("LR case needs l.right");
+            let new_left = mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone());
+            let new_right = mk(key, value, lr.right.clone(), right);
+            mk(
+                lr.key.clone(),
+                lr.value.clone(),
+                Some(new_left),
+                Some(new_right),
+            )
+        }
+    } else if hr > hl + 1 {
+        let r = right.as_ref().expect("right higher than left+1");
+        if height(&r.right) >= height(&r.left) {
+            // Single left rotation.
+            let new_left = mk(key, value, left, r.left.clone());
+            mk(r.key.clone(), r.value.clone(), Some(new_left), r.right.clone())
+        } else {
+            // Right-left double rotation.
+            let rl = r.left.as_ref().expect("RL case needs r.left");
+            let new_left = mk(key, value, left, rl.left.clone());
+            let new_right = mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone());
+            mk(
+                rl.key.clone(),
+                rl.value.clone(),
+                Some(new_left),
+                Some(new_right),
+            )
+        }
+    } else {
+        mk(key, value, left, right)
+    }
+}
+
+/// A persistent ordered map backed by an AVL tree.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_trees::avl::AvlMap;
+///
+/// let v0: AvlMap<i64, &str> = AvlMap::new();
+/// let v1 = v0.insert(1, "one").0;
+/// let v2 = v1.insert(2, "two").0;
+/// assert_eq!(v2.get(&1), Some(&"one"));
+/// assert_eq!(v0.len(), 0); // old versions intact
+/// ```
+pub struct AvlMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Clone for AvlMap<K, V> {
+    fn clone(&self) -> Self {
+        AvlMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K, V> Default for AvlMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> AvlMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AvlMap { root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Tree height (0 if empty).
+    pub fn height(&self) -> u32 {
+        height(&self.root)
+    }
+
+    /// The root node, for structural inspection.
+    pub fn root(&self) -> Option<&Arc<AvlNode<K, V>>> {
+        self.root.as_ref()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> AvlMap<K, V> {
+    /// Inserts `key -> value`, returning the new version and the previous
+    /// value if any.
+    pub fn insert(&self, key: K, value: V) -> (Self, Option<V>) {
+        let (root, old) = insert_rec(&self.root, key, value);
+        (AvlMap { root: Some(root) }, old)
+    }
+
+    /// Inserts only if absent; `None` means present (no new version).
+    pub fn insert_if_absent(&self, key: K, value: V) -> Option<Self> {
+        if self.contains_key(&key) {
+            None
+        } else {
+            Some(self.insert(key, value).0)
+        }
+    }
+
+    /// Removes `key`; `None` means absent (no new version).
+    pub fn remove<Q>(&self, key: &Q) -> Option<(Self, V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let (root, v) = remove_rec(&self.root, key)?;
+        Some((AvlMap { root }, v))
+    }
+}
+
+impl<K: Ord, V> AvlMap<K, V> {
+    /// Looks up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Less => cur = n.left.as_deref(),
+                Equal => return Some(&n.value),
+                Greater => cur = n.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// In-order iterator.
+    pub fn iter(&self) -> AvlIter<'_, K, V> {
+        AvlIter::new(&self.root)
+    }
+
+    /// Validates AVL invariants; returns the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated order, balance, or bookkeeping.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> (u32, usize) {
+            match link {
+                None => (0, 0),
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        assert!(n.key > *lo, "BST order violated");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(n.key < *hi, "BST order violated");
+                    }
+                    let (hl, sl) = walk(&n.left, lo, Some(&n.key));
+                    let (hr, sr) = walk(&n.right, Some(&n.key), hi);
+                    assert!(
+                        hl.abs_diff(hr) <= 1,
+                        "AVL balance violated: {hl} vs {hr}"
+                    );
+                    assert_eq!(n.height, 1 + hl.max(hr), "height field stale");
+                    assert_eq!(n.size, 1 + sl + sr, "size field stale");
+                    (n.height, n.size)
+                }
+            }
+        }
+        walk(&self.root, None, None).1
+    }
+}
+
+fn insert_rec<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+) -> (Arc<AvlNode<K, V>>, Option<V>) {
+    match link {
+        None => (mk(key, value, None, None), None),
+        Some(n) => match key.cmp(&n.key) {
+            Equal => (
+                mk(key, value, n.left.clone(), n.right.clone()),
+                Some(n.value.clone()),
+            ),
+            Less => {
+                let (nl, old) = insert_rec(&n.left, key, value);
+                (
+                    balance(n.key.clone(), n.value.clone(), Some(nl), n.right.clone()),
+                    old,
+                )
+            }
+            Greater => {
+                let (nr, old) = insert_rec(&n.right, key, value);
+                (
+                    balance(n.key.clone(), n.value.clone(), n.left.clone(), Some(nr)),
+                    old,
+                )
+            }
+        },
+    }
+}
+
+fn remove_rec<K, V, Q>(link: &Link<K, V>, key: &Q) -> Option<(Link<K, V>, V)>
+where
+    K: Ord + Clone + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    let n = link.as_ref()?;
+    match key.cmp(n.key.borrow()) {
+        Equal => {
+            let merged = match (&n.left, &n.right) {
+                (None, r) => r.clone(),
+                (l, None) => l.clone(),
+                (Some(_), Some(_)) => {
+                    // Replace with the in-order successor.
+                    let (succ_k, succ_v) = min_entry(n.right.as_ref().expect("right nonempty"));
+                    let (new_right, _) = remove_min(n.right.as_ref().expect("right nonempty"));
+                    Some(balance(succ_k, succ_v, n.left.clone(), new_right))
+                }
+            };
+            Some((merged, n.value.clone()))
+        }
+        Less => {
+            let (nl, v) = remove_rec(&n.left, key)?;
+            Some((
+                Some(balance(n.key.clone(), n.value.clone(), nl, n.right.clone())),
+                v,
+            ))
+        }
+        Greater => {
+            let (nr, v) = remove_rec(&n.right, key)?;
+            Some((
+                Some(balance(n.key.clone(), n.value.clone(), n.left.clone(), nr)),
+                v,
+            ))
+        }
+    }
+}
+
+fn min_entry<K: Clone, V: Clone>(mut n: &Arc<AvlNode<K, V>>) -> (K, V) {
+    while let Some(l) = n.left.as_ref() {
+        n = l;
+    }
+    (n.key.clone(), n.value.clone())
+}
+
+fn remove_min<K: Ord + Clone, V: Clone>(n: &Arc<AvlNode<K, V>>) -> (Link<K, V>, (K, V)) {
+    match &n.left {
+        None => (n.right.clone(), (n.key.clone(), n.value.clone())),
+        Some(l) => {
+            let (nl, min) = remove_min(l);
+            (
+                Some(balance(n.key.clone(), n.value.clone(), nl, n.right.clone())),
+                min,
+            )
+        }
+    }
+}
+
+/// In-order iterator over an [`AvlMap`].
+pub struct AvlIter<'a, K, V> {
+    stack: Vec<&'a AvlNode<K, V>>,
+}
+
+impl<'a, K, V> AvlIter<'a, K, V> {
+    fn new(root: &'a Link<K, V>) -> Self {
+        let mut it = AvlIter { stack: Vec::new() };
+        it.push_left(root.as_deref());
+        it
+    }
+    fn push_left(&mut self, mut cur: Option<&'a AvlNode<K, V>>) {
+        while let Some(n) = cur {
+            self.stack.push(n);
+            cur = n.left.as_deref();
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for AvlIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left(n.right.as_deref());
+        Some((&n.key, &n.value))
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for AvlMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = AvlMap::new();
+        for (k, v) in iter {
+            m = m.insert(k, v).0;
+        }
+        m
+    }
+}
+
+impl<K: fmt::Debug + Ord, V: fmt::Debug> fmt::Debug for AvlMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// A persistent ordered set backed by [`AvlMap<K, ()>`].
+#[derive(Clone, Default)]
+pub struct AvlSet<K> {
+    map: AvlMap<K, ()>,
+}
+
+impl<K: Ord + Clone> AvlSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AvlSet { map: AvlMap::new() }
+    }
+
+    /// Inserts `key`; `None` means already present (no-op).
+    pub fn insert(&self, key: K) -> Option<Self> {
+        self.map.insert_if_absent(key, ()).map(|map| AvlSet { map })
+    }
+
+    /// Removes `key`; `None` means absent (no-op).
+    pub fn remove<Q>(&self, key: &Q) -> Option<Self>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.remove(key).map(|(map, ())| AvlSet { map })
+    }
+
+    /// `true` if present.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.contains_key(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys in order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.map.iter().map(|(k, _)| k)
+    }
+
+    /// Underlying map.
+    pub fn as_map(&self) -> &AvlMap<K, ()> {
+        &self.map
+    }
+
+    /// Validates invariants; returns node count.
+    pub fn check_invariants(&self) -> usize {
+        self.map.check_invariants()
+    }
+}
+
+impl<K: Ord + Clone> FromIterator<K> for AvlSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        AvlSet {
+            map: iter.into_iter().map(|k| (k, ())).collect(),
+        }
+    }
+}
+
+// Sharing-measurement support.
+impl<K: Ord, V> crate::sharing::SearchTree for AvlMap<K, V> {
+    type Key = K;
+
+    fn visit_path(&self, key: &K, visit: &mut dyn FnMut(usize)) {
+        let mut cur = self.root();
+        while let Some(n) = cur {
+            visit(Arc::as_ptr(n) as usize);
+            match key.cmp(n.key()) {
+                Less => cur = n.left(),
+                Equal => return,
+                Greater => cur = n.right(),
+            }
+        }
+    }
+
+    fn visit_all(&self, visit: &mut dyn FnMut(usize)) {
+        fn walk<K, V>(n: Option<&Arc<AvlNode<K, V>>>, visit: &mut dyn FnMut(usize)) {
+            if let Some(n) = n {
+                visit(Arc::as_ptr(n) as usize);
+                walk(n.left(), visit);
+                walk(n.right(), visit);
+            }
+        }
+        walk(self.root(), visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basic_ops() {
+        let m: AvlMap<i64, i64> = AvlMap::new();
+        let (m, old) = m.insert(1, 10);
+        assert_eq!(old, None);
+        let (m, old) = m.insert(1, 11);
+        assert_eq!(old, Some(10));
+        assert_eq!(m.get(&1), Some(&11));
+        let (m, v) = m.remove(&1).unwrap();
+        assert_eq!(v, 11);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_ops() {
+        let mut reference = BTreeMap::new();
+        let mut m: AvlMap<i64, i64> = AvlMap::new();
+        let mut x = 31u64;
+        for _ in 0..4000 {
+            x = crate::hash::splitmix64(x);
+            let k = (x % 350) as i64;
+            if x % 3 == 0 {
+                match (reference.remove(&k), m.remove(&k)) {
+                    (None, None) => {}
+                    (Some(ev), Some((nm, gv))) => {
+                        assert_eq!(ev, gv);
+                        m = nm;
+                    }
+                    other => panic!("mismatch: {other:?}"),
+                }
+            } else {
+                let v = (x >> 40) as i64;
+                let (nm, old) = m.insert(k, v);
+                assert_eq!(old, reference.insert(k, v));
+                m = nm;
+            }
+            if x % 512 == 0 {
+                m.check_invariants();
+            }
+        }
+        assert!(m.iter().map(|(k, v)| (*k, *v)).eq(reference.into_iter()));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn height_is_tightly_logarithmic() {
+        // Sorted insertion is the AVL worst case for naive BSTs; the AVL
+        // must stay within 1.44 log2(n+2).
+        let n = 1 << 12;
+        let m: AvlMap<u64, ()> = (0..n).map(|k| (k, ())).collect();
+        m.check_invariants();
+        let bound = (1.45 * ((n + 2) as f64).log2()) as u32;
+        assert!(m.height() <= bound, "height {} > {bound}", m.height());
+    }
+
+    #[test]
+    fn persistence_between_versions() {
+        let v1: AvlMap<i64, i64> = (0..100).map(|k| (k, k)).collect();
+        let (v2, _) = v1.remove(&50).unwrap();
+        assert!(v1.contains_key(&50));
+        assert!(!v2.contains_key(&50));
+        assert_eq!(v1.len(), 100);
+        assert_eq!(v2.len(), 99);
+    }
+
+    #[test]
+    fn rebalancing_preserves_sharing_bound() {
+        use crate::sharing::sharing_stats;
+        let v1: AvlMap<i64, i64> = (0..1024).map(|k| (k, k)).collect();
+        let (v2, _) = v1.insert(5000, 0);
+        let stats = sharing_stats(&v1, &v2);
+        assert!(
+            stats.fresh <= 3 * v1.height() as usize + 3,
+            "AVL insert copied {} nodes",
+            stats.fresh
+        );
+    }
+
+    #[test]
+    fn set_facade() {
+        let s: AvlSet<i64> = AvlSet::new();
+        let s = s.insert(1).unwrap();
+        assert!(s.insert(1).is_none());
+        assert!(s.contains(&1));
+        let s2 = s.remove(&1).unwrap();
+        assert!(s.contains(&1));
+        assert!(s2.is_empty());
+        let s3: AvlSet<i64> = (0..64).collect();
+        assert_eq!(s3.len(), 64);
+        assert!(s3.iter().copied().eq(0..64));
+        s3.check_invariants();
+    }
+
+    #[test]
+    fn remove_min_paths() {
+        // Exercise the successor-replacement branch: remove nodes that
+        // have two children.
+        let mut m: AvlMap<i64, i64> = (0..64).map(|k| (k, k)).collect();
+        for k in [31, 15, 47, 0, 63, 32] {
+            let (nm, v) = m.remove(&k).unwrap();
+            assert_eq!(v, k);
+            nm.check_invariants();
+            m = nm;
+        }
+        assert_eq!(m.len(), 58);
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic priority derivation for treaps.
+//!
+//! Seidel–Aragon treaps want priorities that are i.i.d. uniform. Drawing
+//! them from an RNG at insert time makes the tree shape depend on the
+//! insertion history, which is inconvenient both for testing and for the
+//! universal construction (a retried insert would re-roll its priority).
+//! Instead we derive the priority by hashing the key: `splitmix64(h(key))`
+//! where `h` is SipHash-1-3 with fixed keys. For distinct keys this is
+//! indistinguishable from random priorities, and the treap shape becomes a
+//! pure function of its key set.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The splitmix64 finalizer: a fast, well-mixed 64-bit permutation.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives a deterministic pseudo-random priority from a key.
+#[inline]
+pub fn priority_of<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    splitmix64(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Consecutive inputs should differ in many bits (avalanche).
+        let d = (splitmix64(7) ^ splitmix64(8)).count_ones();
+        assert!(d > 16, "poor mixing: only {d} differing bits");
+    }
+
+    #[test]
+    fn priorities_are_stable_per_key() {
+        assert_eq!(priority_of(&42i64), priority_of(&42i64));
+        assert_ne!(priority_of(&42i64), priority_of(&43i64));
+    }
+
+    #[test]
+    fn priorities_look_uniform() {
+        // Crude uniformity check: the top bit should be set about half the
+        // time over a few thousand keys.
+        let n = 4096;
+        let ones = (0..n).filter(|k| priority_of(k) >> 63 == 1).count();
+        assert!(
+            (n / 2 - n / 8..=n / 2 + n / 8).contains(&ones),
+            "top-bit frequency {ones}/{n} is far from 1/2"
+        );
+    }
+}

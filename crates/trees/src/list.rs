@@ -1,0 +1,214 @@
+//! Persistent singly linked list (cons list / stack).
+//!
+//! The simplest possible path-copying structure: `push` copies nothing
+//! (it shares the entire old list as its tail) and `pop` shares
+//! everything but the head. Included to demonstrate that the universal
+//! construction is structure-agnostic — the paper's §2 applies to any
+//! rooted persistent structure, not just trees.
+
+use std::fmt;
+use std::sync::Arc;
+
+struct ListNode<T> {
+    value: T,
+    next: Option<Arc<ListNode<T>>>,
+}
+
+/// A persistent stack (LIFO list).
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_trees::list::PStack;
+///
+/// let v0: PStack<i32> = PStack::new();
+/// let v1 = v0.push(1);
+/// let v2 = v1.push(2);
+/// assert_eq!(v2.peek(), Some(&2));
+/// let (v3, popped) = v2.pop().unwrap();
+/// assert_eq!(popped, 2);
+/// assert_eq!(v1.len(), 1); // old versions intact
+/// assert_eq!(v3.len(), 1);
+/// ```
+pub struct PStack<T> {
+    head: Option<Arc<ListNode<T>>>,
+    len: usize,
+}
+
+impl<T> Clone for PStack<T> {
+    fn clone(&self) -> Self {
+        PStack {
+            head: self.head.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Default for PStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        PStack { head: None, len: 0 }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// The top element.
+    pub fn peek(&self) -> Option<&T> {
+        self.head.as_ref().map(|n| &n.value)
+    }
+
+    /// Returns a new version with `value` on top. O(1); shares the whole
+    /// receiver as the tail.
+    pub fn push(&self, value: T) -> Self {
+        PStack {
+            head: Some(Arc::new(ListNode {
+                value,
+                next: self.head.clone(),
+            })),
+            len: self.len + 1,
+        }
+    }
+
+    /// Iterator from top to bottom.
+    pub fn iter(&self) -> PStackIter<'_, T> {
+        PStackIter {
+            cur: self.head.as_deref(),
+        }
+    }
+}
+
+impl<T: Clone> PStack<T> {
+    /// Returns the version without the top element and that element;
+    /// `None` if empty (a no-op for the universal construction).
+    pub fn pop(&self) -> Option<(Self, T)> {
+        let head = self.head.as_ref()?;
+        Some((
+            PStack {
+                head: head.next.clone(),
+                len: self.len - 1,
+            },
+            head.value.clone(),
+        ))
+    }
+
+    /// Returns the reversed stack (O(n), used by the queue).
+    pub fn reversed(&self) -> Self {
+        let mut out = PStack::new();
+        for v in self.iter() {
+            out = out.push(v.clone());
+        }
+        out
+    }
+}
+
+impl<T> Drop for PStack<T> {
+    fn drop(&mut self) {
+        // Iterative teardown of uniquely-owned prefixes: a deep list would
+        // otherwise recurse once per node. Stop at the first shared node —
+        // some other version still owns the rest.
+        let mut cur = self.head.take();
+        while let Some(node) = cur {
+            match Arc::try_unwrap(node) {
+                Ok(mut inner) => cur = inner.next.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Iterator over a [`PStack`], top to bottom.
+pub struct PStackIter<'a, T> {
+    cur: Option<&'a ListNode<T>>,
+}
+
+impl<'a, T> Iterator for PStackIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.cur?;
+        self.cur = n.next.as_deref();
+        Some(&n.value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T> FromIterator<T> for PStack<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = PStack::new();
+        for v in iter {
+            s = s.push(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let s: PStack<i32> = PStack::new();
+        let s = s.push(1).push(2).push(3);
+        assert_eq!(s.len(), 3);
+        let (s, a) = s.pop().unwrap();
+        let (s, b) = s.pop().unwrap();
+        let (s, c) = s.pop().unwrap();
+        assert_eq!((a, b, c), (3, 2, 1));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn versions_are_independent() {
+        let v1 = PStack::new().push(1);
+        let v2 = v1.push(2);
+        let v3 = v1.push(3);
+        assert_eq!(v2.iter().copied().collect::<Vec<_>>(), vec![2, 1]);
+        assert_eq!(v3.iter().copied().collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(v1.len(), 1);
+    }
+
+    #[test]
+    fn reversed() {
+        let s: PStack<i32> = [1, 2, 3].into_iter().collect();
+        let r = s.reversed();
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deep_list_drops_without_overflow() {
+        let mut s = PStack::new();
+        for i in 0..1_000_000 {
+            s = s.push(i);
+        }
+        assert_eq!(s.len(), 1_000_000);
+        drop(s); // must not blow the stack
+    }
+
+    #[test]
+    fn shared_suffix_survives_drop() {
+        let base: PStack<i32> = (0..1000).collect();
+        let branch = base.push(-1);
+        drop(base);
+        assert_eq!(branch.len(), 1001);
+        assert_eq!(branch.iter().count(), 1001);
+    }
+}

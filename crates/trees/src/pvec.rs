@@ -1,0 +1,422 @@
+//! Persistent bit-partitioned vector (Clojure/Scala-style, 32-way).
+//!
+//! A *wide* path-copying tree: updates copy a root-to-leaf path of
+//! 32-ary nodes, so the path is `log₃₂ n` long but each copied node is
+//! 32 pointers wide. Under the universal construction this gives a
+//! different point in the cache-cost trade-off the paper's model
+//! analyzes (shorter paths, larger copies) — see the branching-factor
+//! ablation in EXPERIMENTS.md.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Branching factor (2^BITS).
+const BITS: usize = 5;
+/// Node width.
+const WIDTH: usize = 1 << BITS;
+/// Index mask within one level.
+const MASK: usize = WIDTH - 1;
+
+enum VNode<T> {
+    Branch(Vec<Option<Arc<VNode<T>>>>),
+    Leaf(Vec<T>),
+}
+
+impl<T> VNode<T> {
+    fn empty_branch() -> VNode<T> {
+        VNode::Branch((0..WIDTH).map(|_| None).collect())
+    }
+}
+
+/// A persistent growable array with O(log₃₂ n) indexed reads and
+/// path-copying updates.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_trees::pvec::PVec;
+///
+/// let v0: PVec<i32> = (0..100).collect();
+/// let v1 = v0.set(50, -1).unwrap();
+/// assert_eq!(v0.get(50), Some(&50)); // old version intact
+/// assert_eq!(v1.get(50), Some(&-1));
+/// let v2 = v1.push(100);
+/// assert_eq!(v2.len(), 101);
+/// ```
+pub struct PVec<T> {
+    len: usize,
+    /// Number of index bits consumed below the root.
+    shift: usize,
+    root: Option<Arc<VNode<T>>>,
+}
+
+impl<T> Clone for PVec<T> {
+    fn clone(&self) -> Self {
+        PVec {
+            len: self.len,
+            shift: self.shift,
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<T> Default for PVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PVec<T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        PVec {
+            len: 0,
+            shift: 0,
+            root: None,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indexed read; `None` out of bounds. O(log₃₂ n).
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        let mut node = self.root.as_deref()?;
+        let mut shift = self.shift;
+        loop {
+            match node {
+                VNode::Branch(children) => {
+                    let slot = (index >> shift) & MASK;
+                    node = children[slot].as_deref()?;
+                    shift -= BITS;
+                }
+                VNode::Leaf(items) => return items.get(index & MASK),
+            }
+        }
+    }
+}
+
+impl<T: Clone> PVec<T> {
+    /// Returns a new version with `value` appended. Copies one
+    /// root-to-leaf path (plus a new root when the tree grows a level).
+    pub fn push(&self, value: T) -> Self {
+        let index = self.len;
+        if self.root.is_none() {
+            return PVec {
+                len: 1,
+                shift: 0,
+                root: Some(Arc::new(VNode::Leaf(vec![value]))),
+            };
+        }
+        // Does the current tree have room for `index`?
+        let capacity = WIDTH << self.shift;
+        if index < capacity {
+            let root = self.root.as_ref().expect("non-empty");
+            let new_root = push_rec(Some(root), self.shift, index, value);
+            PVec {
+                len: self.len + 1,
+                shift: self.shift,
+                root: Some(new_root),
+            }
+        } else {
+            // Grow a level: the old root becomes child 0 of a new root.
+            let mut children: Vec<Option<Arc<VNode<T>>>> =
+                (0..WIDTH).map(|_| None).collect();
+            children[0] = self.root.clone();
+            let new_shift = self.shift + BITS;
+            let grown = Arc::new(VNode::Branch(children));
+            let new_root = push_rec(Some(&grown), new_shift, index, value);
+            PVec {
+                len: self.len + 1,
+                shift: new_shift,
+                root: Some(new_root),
+            }
+        }
+    }
+
+    /// Returns a new version with index `index` replaced; `None` if out
+    /// of bounds (a UC no-op).
+    pub fn set(&self, index: usize, value: T) -> Option<Self> {
+        if index >= self.len {
+            return None;
+        }
+        let root = self.root.as_ref().expect("non-empty");
+        Some(PVec {
+            len: self.len,
+            shift: self.shift,
+            root: Some(set_rec(root, self.shift, index, value)),
+        })
+    }
+
+    /// Returns the version without the last element plus that element;
+    /// `None` if empty.
+    pub fn pop(&self) -> Option<(Self, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.get(self.len - 1).expect("in bounds").clone();
+        if self.len == 1 {
+            return Some((PVec::new(), value));
+        }
+        let root = self.root.as_ref().expect("non-empty");
+        let new_root = pop_rec(root, self.shift, self.len - 1).expect("non-empty after pop");
+        // Shrink the root if it has a single child branch.
+        let (root, shift) = shrink(new_root, self.shift);
+        Some((
+            PVec {
+                len: self.len - 1,
+                shift,
+                root: Some(root),
+            },
+            value,
+        ))
+    }
+
+    /// Iterator over elements in index order.
+    pub fn iter(&self) -> PVecIter<'_, T> {
+        PVecIter {
+            vec: self,
+            index: 0,
+        }
+    }
+}
+
+fn push_rec<T: Clone>(
+    node: Option<&Arc<VNode<T>>>,
+    shift: usize,
+    index: usize,
+    value: T,
+) -> Arc<VNode<T>> {
+    if shift == 0 {
+        // Leaf level.
+        return match node {
+            None => Arc::new(VNode::Leaf(vec![value])),
+            Some(n) => match &**n {
+                VNode::Leaf(items) => {
+                    debug_assert!(items.len() < WIDTH, "leaf overflow");
+                    let mut new_items = items.clone();
+                    new_items.push(value);
+                    Arc::new(VNode::Leaf(new_items))
+                }
+                VNode::Branch(_) => unreachable!("branch at leaf level"),
+            },
+        };
+    }
+    let slot = (index >> shift) & MASK;
+    let mut children = match node {
+        None => return push_rec(Some(&Arc::new(VNode::empty_branch())), shift, index, value),
+        Some(n) => match &**n {
+            VNode::Branch(children) => children.clone(),
+            VNode::Leaf(_) => unreachable!("leaf above leaf level"),
+        },
+    };
+    let child = push_rec(children[slot].as_ref(), shift - BITS, index, value);
+    children[slot] = Some(child);
+    Arc::new(VNode::Branch(children))
+}
+
+fn set_rec<T: Clone>(node: &Arc<VNode<T>>, shift: usize, index: usize, value: T) -> Arc<VNode<T>> {
+    match &**node {
+        VNode::Leaf(items) => {
+            let mut new_items = items.clone();
+            new_items[index & MASK] = value;
+            Arc::new(VNode::Leaf(new_items))
+        }
+        VNode::Branch(children) => {
+            let slot = (index >> shift) & MASK;
+            let child = children[slot].as_ref().expect("path exists");
+            let new_child = set_rec(child, shift - BITS, index, value);
+            let mut new_children = children.clone();
+            new_children[slot] = Some(new_child);
+            Arc::new(VNode::Branch(new_children))
+        }
+    }
+}
+
+/// Removes the element at `last` (the final index); returns `None` if the
+/// subtree becomes empty.
+fn pop_rec<T: Clone>(node: &Arc<VNode<T>>, shift: usize, last: usize) -> Option<Arc<VNode<T>>> {
+    match &**node {
+        VNode::Leaf(items) => {
+            if items.len() == 1 {
+                None
+            } else {
+                let mut new_items = items.clone();
+                new_items.pop();
+                Some(Arc::new(VNode::Leaf(new_items)))
+            }
+        }
+        VNode::Branch(children) => {
+            let slot = (last >> shift) & MASK;
+            let child = children[slot].as_ref().expect("path exists");
+            let new_child = pop_rec(child, shift - BITS, last);
+            let mut new_children = children.clone();
+            new_children[slot] = new_child;
+            if slot == 0 && new_children[0].is_none() {
+                None
+            } else {
+                Some(Arc::new(VNode::Branch(new_children)))
+            }
+        }
+    }
+}
+
+/// Collapses single-child root branches after a pop.
+fn shrink<T>(mut root: Arc<VNode<T>>, mut shift: usize) -> (Arc<VNode<T>>, usize) {
+    loop {
+        let collapse = match &*root {
+            VNode::Branch(children) if shift > 0 => {
+                let occupied: Vec<usize> = children
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.as_ref().map(|_| i))
+                    .collect();
+                if occupied == [0] {
+                    children[0].clone()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match collapse {
+            Some(only_child) => {
+                root = only_child;
+                shift -= BITS;
+            }
+            None => return (root, shift),
+        }
+    }
+}
+
+/// Index-order iterator over a [`PVec`].
+pub struct PVecIter<'a, T> {
+    vec: &'a PVec<T>,
+    index: usize,
+}
+
+impl<'a, T: Clone> Iterator for PVecIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.vec.get(self.index)?;
+        self.index += 1;
+        Some(item)
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = PVec::new();
+        for item in iter {
+            v = v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: fmt::Debug + Clone> fmt::Debug for PVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_across_level_growth() {
+        // Cross the 32 and 1024 boundaries.
+        let n = 40 * WIDTH;
+        let v: PVec<usize> = (0..n).collect();
+        assert_eq!(v.len(), n);
+        for i in (0..n).step_by(7) {
+            assert_eq!(v.get(i), Some(&i), "index {i}");
+        }
+        assert_eq!(v.get(n), None);
+    }
+
+    #[test]
+    fn set_is_persistent() {
+        let v0: PVec<i32> = (0..1000).collect();
+        let v1 = v0.set(500, -1).unwrap();
+        assert_eq!(v0.get(500), Some(&500));
+        assert_eq!(v1.get(500), Some(&-1));
+        assert!(v0.set(1000, 0).is_none(), "out of bounds is a no-op");
+    }
+
+    #[test]
+    fn pop_reverses_push() {
+        let n = 3 * WIDTH + 5;
+        let v: PVec<usize> = (0..n).collect();
+        let mut cur = v;
+        for expect in (0..n).rev() {
+            let (next, popped) = cur.pop().unwrap();
+            assert_eq!(popped, expect);
+            cur = next;
+            assert_eq!(cur.len(), expect);
+        }
+        assert!(cur.pop().is_none());
+    }
+
+    #[test]
+    fn iterator_matches_contents() {
+        let v: PVec<usize> = (0..200).collect();
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_vec_on_mixed_ops() {
+        let mut reference: Vec<u64> = Vec::new();
+        let mut v: PVec<u64> = PVec::new();
+        let mut x = 3u64;
+        for _ in 0..3000 {
+            x = crate::hash::splitmix64(x);
+            match x % 4 {
+                0 | 1 => {
+                    reference.push(x);
+                    v = v.push(x);
+                }
+                2 if !reference.is_empty() => {
+                    let i = (x % reference.len() as u64) as usize;
+                    reference[i] = x;
+                    v = v.set(i, x).unwrap();
+                }
+                _ => {
+                    let expected = reference.pop();
+                    match v.pop() {
+                        Some((nv, got)) => {
+                            assert_eq!(Some(got), expected);
+                            v = nv;
+                        }
+                        None => assert_eq!(expected, None),
+                    }
+                }
+            }
+            assert_eq!(v.len(), reference.len());
+        }
+        assert!(v.iter().copied().eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn structural_sharing_on_set() {
+        // A set on a large vector must not copy most leaves: verify by
+        // pointer identity of an untouched leaf's element.
+        let v0: PVec<usize> = (0..100_000).collect();
+        let v1 = v0.set(0, 1).unwrap();
+        let a = v0.get(99_999).unwrap() as *const usize;
+        let b = v1.get(99_999).unwrap() as *const usize;
+        assert_eq!(a, b, "untouched leaf must be shared");
+    }
+}

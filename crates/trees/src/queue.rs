@@ -1,0 +1,198 @@
+//! Persistent FIFO queue (Okasaki's batched two-stack queue).
+//!
+//! `push_back` conses onto the back stack; `pop_front` pops the front
+//! stack, reversing the back stack into the front when the front runs
+//! dry. Amortized O(1) per operation for single-version use.
+
+use std::fmt;
+
+use crate::list::PStack;
+
+/// A persistent FIFO queue.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_trees::queue::PQueue;
+///
+/// let q: PQueue<i32> = PQueue::new();
+/// let q = q.push_back(1).push_back(2).push_back(3);
+/// let (q, first) = q.pop_front().unwrap();
+/// assert_eq!(first, 1);
+/// assert_eq!(q.len(), 2);
+/// ```
+pub struct PQueue<T> {
+    front: PStack<T>,
+    back: PStack<T>,
+}
+
+impl<T> Clone for PQueue<T> {
+    fn clone(&self) -> Self {
+        PQueue {
+            front: self.front.clone(),
+            back: self.back.clone(),
+        }
+    }
+}
+
+impl<T> Default for PQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PQueue {
+            front: PStack::new(),
+            back: PStack::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.back.is_empty()
+    }
+
+    /// Returns a new version with `value` at the back. O(1).
+    pub fn push_back(&self, value: T) -> Self {
+        PQueue {
+            front: self.front.clone(),
+            back: self.back.push(value),
+        }
+    }
+}
+
+impl<T: Clone> PQueue<T> {
+    /// Returns the version without the front element plus that element;
+    /// `None` if empty (UC no-op). Amortized O(1).
+    pub fn pop_front(&self) -> Option<(Self, T)> {
+        if let Some((front, v)) = self.front.pop() {
+            return Some((
+                PQueue {
+                    front,
+                    back: self.back.clone(),
+                },
+                v,
+            ));
+        }
+        // Front empty: reverse the back stack into the front.
+        let reversed = self.back.reversed();
+        let (front, v) = reversed.pop()?;
+        Some((
+            PQueue {
+                front,
+                back: PStack::new(),
+            },
+            v,
+        ))
+    }
+
+    /// The front element, if any.
+    pub fn peek_front(&self) -> Option<T> {
+        if let Some(v) = self.front.peek() {
+            return Some(v.clone());
+        }
+        self.back.iter().last().cloned()
+    }
+
+    /// Drains into a `Vec` in FIFO order (test/diagnostic helper; O(n)).
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out: Vec<T> = self.front.iter().cloned().collect();
+        let tail: Vec<T> = self.back.iter().cloned().collect();
+        out.extend(tail.into_iter().rev());
+        out
+    }
+}
+
+impl<T: fmt::Debug + Clone> fmt::Debug for PQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
+impl<T> FromIterator<T> for PQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut q = PQueue::new();
+        for v in iter {
+            q = q.push_back(v);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn fifo_order() {
+        let q: PQueue<i32> = (1..=5).collect();
+        let mut got = Vec::new();
+        let mut cur = q;
+        while let Some((next, v)) = cur.pop_front() {
+            got.push(v);
+            cur = next;
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn matches_vecdeque_on_mixed_ops() {
+        let mut reference = VecDeque::new();
+        let mut q: PQueue<u64> = PQueue::new();
+        let mut x = 9u64;
+        for _ in 0..2000 {
+            x = crate::hash::splitmix64(x);
+            if x % 3 != 0 {
+                reference.push_back(x);
+                q = q.push_back(x);
+            } else {
+                let expected = reference.pop_front();
+                match q.pop_front() {
+                    Some((nq, v)) => {
+                        assert_eq!(Some(v), expected);
+                        q = nq;
+                    }
+                    None => assert_eq!(expected, None),
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        assert_eq!(q.to_vec(), Vec::from(reference));
+    }
+
+    #[test]
+    fn persistence_of_versions() {
+        let v1: PQueue<i32> = (0..10).collect();
+        let (v2, _) = v1.pop_front().unwrap();
+        let v3 = v1.push_back(99);
+        assert_eq!(v1.len(), 10);
+        assert_eq!(v2.len(), 9);
+        assert_eq!(v3.len(), 11);
+        assert_eq!(v1.peek_front(), Some(0));
+        assert_eq!(v2.peek_front(), Some(1));
+    }
+
+    #[test]
+    fn peek_front_spans_both_stacks() {
+        let q = PQueue::new().push_back(1).push_back(2);
+        assert_eq!(q.peek_front(), Some(1)); // still in the back stack
+        let (q, _) = q.pop_front().unwrap(); // forces the reversal
+        assert_eq!(q.peek_front(), Some(2));
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let q: PQueue<i32> = PQueue::new();
+        assert!(q.pop_front().is_none());
+        assert_eq!(q.peek_front(), None);
+    }
+}

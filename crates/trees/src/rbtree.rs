@@ -1,0 +1,768 @@
+//! Persistent red–black tree.
+//!
+//! Insertion is Okasaki's classic four-case rebalancing (*Purely
+//! functional data structures*, the paper's [6]); deletion follows
+//! Germane & Might's "double-black / negative-black" method (*Deletion:
+//! the curse of the red-black tree*, JFP 2014), which keeps the algorithm
+//! purely functional — every update path-copies the search path plus
+//! O(1) rebalancing nodes per level.
+//!
+//! The transient colors `DoubleBlack` and `NegativeBlack` (and the
+//! double-black leaf `EE`) exist only while a deletion is in flight;
+//! [`RbMap::check_invariants`] verifies that settled trees contain only
+//! red and black.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering::{Equal, Greater, Less};
+use std::fmt;
+use std::sync::Arc;
+
+/// Node colors, including the two transient deletion colors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+    /// Transient: carries one unit of missing black height upward.
+    DoubleBlack,
+    /// Transient: a "negative" black produced by `redder(Red)`.
+    NegativeBlack,
+}
+
+use Color::*;
+
+impl Color {
+    fn blacker(self) -> Color {
+        match self {
+            NegativeBlack => Red,
+            Red => Black,
+            Black => DoubleBlack,
+            DoubleBlack => unreachable!("cannot blacken a double black"),
+        }
+    }
+    fn redder(self) -> Color {
+        match self {
+            DoubleBlack => Black,
+            Black => Red,
+            Red => NegativeBlack,
+            NegativeBlack => unreachable!("cannot redden a negative black"),
+        }
+    }
+}
+
+struct RbNode<K, V> {
+    color: Color,
+    size: usize,
+    key: K,
+    value: V,
+    left: Tree<K, V>,
+    right: Tree<K, V>,
+}
+
+enum Tree<K, V> {
+    /// The (black) empty tree.
+    E,
+    /// Transient double-black empty tree.
+    EE,
+    /// An interior node.
+    Node(Arc<RbNode<K, V>>),
+}
+
+use Tree::{Node, E, EE};
+
+impl<K, V> Clone for Tree<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            E => E,
+            EE => EE,
+            Node(n) => Node(n.clone()),
+        }
+    }
+}
+
+impl<K, V> Tree<K, V> {
+    fn size(&self) -> usize {
+        match self {
+            E | EE => 0,
+            Node(n) => n.size,
+        }
+    }
+
+    fn is_bb(&self) -> bool {
+        matches!(self, EE) || matches!(self, Node(n) if n.color == DoubleBlack)
+    }
+}
+
+impl<K, V> Tree<K, V>
+where
+    K: Clone,
+    V: Clone,
+{
+    fn with_color(&self, color: Color) -> Tree<K, V> {
+        match self {
+            Node(n) => mk(color, n.left.clone(), n.key.clone(), n.value.clone(), n.right.clone()),
+            _ => unreachable!("recoloring an empty tree"),
+        }
+    }
+
+    /// `redder` lifted to trees: removes one unit of double black.
+    fn redder(self) -> Self {
+        match self {
+            EE => E,
+            E => unreachable!("cannot redden the plain empty tree"),
+            Node(n) => Node(Arc::new(RbNode {
+                color: n.color.redder(),
+                size: n.size,
+                key: n.key.clone(),
+                value: n.value.clone(),
+                left: n.left.clone(),
+                right: n.right.clone(),
+            })),
+        }
+    }
+}
+
+fn mk<K, V>(color: Color, left: Tree<K, V>, key: K, value: V, right: Tree<K, V>) -> Tree<K, V> {
+    let size = 1 + left.size() + right.size();
+    Node(Arc::new(RbNode {
+        color,
+        size,
+        key,
+        value,
+        left,
+        right,
+    }))
+}
+
+/// Matches `T Red (T Red a x b) y c`-style double-red patterns and other
+/// balance shapes. Returns the rebalanced subtree for root color `c`.
+fn balance<K: Ord + Clone, V: Clone>(
+    color: Color,
+    left: Tree<K, V>,
+    key: K,
+    value: V,
+    right: Tree<K, V>,
+) -> Tree<K, V> {
+    // Double-red under a black or double-black root: rotate so the two
+    // inner subtrees become siblings. Result root: Red for Black input,
+    // Black for DoubleBlack input (absorbing one black unit).
+    if color == Black || color == DoubleBlack {
+        let out_color = if color == Black { Red } else { Black };
+        // Case 1: left child red with red left child.
+        if let Node(l) = &left {
+            if l.color == Red {
+                if let Node(ll) = &l.left {
+                    if ll.color == Red {
+                        let new_l = Node(ll.clone()).with_color(Black);
+                        let new_r = mk(Black, l.right.clone(), key, value, right);
+                        return mk_from(out_color, new_l, l, new_r);
+                    }
+                }
+                // Case 2: left child red with red right child.
+                if let Node(lr) = &l.right {
+                    if lr.color == Red {
+                        let new_l =
+                            mk(Black, l.left.clone(), l.key.clone(), l.value.clone(), lr.left.clone());
+                        let new_r = mk(Black, lr.right.clone(), key, value, right);
+                        return mk(
+                            out_color,
+                            new_l,
+                            lr.key.clone(),
+                            lr.value.clone(),
+                            new_r,
+                        );
+                    }
+                }
+            }
+        }
+        if let Node(r) = &right {
+            if r.color == Red {
+                // Case 3: right child red with red left child.
+                if let Node(rl) = &r.left {
+                    if rl.color == Red {
+                        let new_l = mk(Black, left, key, value, rl.left.clone());
+                        let new_r =
+                            mk(Black, rl.right.clone(), r.key.clone(), r.value.clone(), r.right.clone());
+                        return mk(
+                            out_color,
+                            new_l,
+                            rl.key.clone(),
+                            rl.value.clone(),
+                            new_r,
+                        );
+                    }
+                }
+                // Case 4: right child red with red right child.
+                if let Node(rr) = &r.right {
+                    if rr.color == Red {
+                        let new_l = mk(Black, left, key, value, r.left.clone());
+                        let new_r = Node(rr.clone()).with_color(Black);
+                        return mk_from(out_color, new_l, r, new_r);
+                    }
+                }
+            }
+        }
+    }
+
+    // Negative-black cases (deletion only): a double-black root with a
+    // negative-black child whose children are both black.
+    if color == DoubleBlack {
+        if let Node(r) = &right {
+            if r.color == NegativeBlack {
+                if let (Node(rl), Node(rr)) = (&r.left, &r.right) {
+                    if rl.color == Black && rr.color == Black {
+                        let new_l = mk(Black, left, key, value, rl.left.clone());
+                        let new_r = balance(
+                            Black,
+                            rl.right.clone(),
+                            r.key.clone(),
+                            r.value.clone(),
+                            Node(rr.clone()).with_color(Red),
+                        );
+                        return mk(Black, new_l, rl.key.clone(), rl.value.clone(), new_r);
+                    }
+                }
+            }
+        }
+        if let Node(l) = &left {
+            if l.color == NegativeBlack {
+                if let (Node(ll), Node(lr)) = (&l.left, &l.right) {
+                    if ll.color == Black && lr.color == Black {
+                        let new_l = balance(
+                            Black,
+                            Node(ll.clone()).with_color(Red),
+                            l.key.clone(),
+                            l.value.clone(),
+                            lr.left.clone(),
+                        );
+                        let new_r = mk(Black, lr.right.clone(), key, value, right);
+                        return mk(Black, new_l, lr.key.clone(), lr.value.clone(), new_r);
+                    }
+                }
+            }
+        }
+    }
+
+    mk(color, left, key, value, right)
+}
+
+/// Builds a node reusing `src`'s key/value with new children.
+fn mk_from<K: Clone, V: Clone>(
+    color: Color,
+    left: Tree<K, V>,
+    src: &Arc<RbNode<K, V>>,
+    right: Tree<K, V>,
+) -> Tree<K, V> {
+    mk(color, left, src.key.clone(), src.value.clone(), right)
+}
+
+/// `bubble`: if either child is double black, push the extra black unit
+/// up to this node and rebalance.
+fn bubble<K: Ord + Clone, V: Clone>(
+    color: Color,
+    left: Tree<K, V>,
+    key: K,
+    value: V,
+    right: Tree<K, V>,
+) -> Tree<K, V> {
+    if left.is_bb() || right.is_bb() {
+        balance(color.blacker(), left.redder(), key, value, right.redder())
+    } else {
+        balance(color, left, key, value, right)
+    }
+}
+
+fn ins<K: Ord + Clone, V: Clone>(t: &Tree<K, V>, key: K, value: V) -> (Tree<K, V>, Option<V>) {
+    match t {
+        E | EE => (mk(Red, E, key, value, E), None),
+        Node(n) => match key.cmp(&n.key) {
+            Equal => (
+                mk(n.color, n.left.clone(), key, value, n.right.clone()),
+                Some(n.value.clone()),
+            ),
+            Less => {
+                let (l2, old) = ins(&n.left, key, value);
+                (
+                    balance(n.color, l2, n.key.clone(), n.value.clone(), n.right.clone()),
+                    old,
+                )
+            }
+            Greater => {
+                let (r2, old) = ins(&n.right, key, value);
+                (
+                    balance(n.color, n.left.clone(), n.key.clone(), n.value.clone(), r2),
+                    old,
+                )
+            }
+        },
+    }
+}
+
+/// Removes the root of `n` (the key to delete has been found).
+fn remove_node<K: Ord + Clone, V: Clone>(n: &Arc<RbNode<K, V>>) -> Tree<K, V> {
+    match (&n.left, &n.right) {
+        (E, E) => match n.color {
+            Red => E,
+            Black => EE,
+            _ => unreachable!("transient color in settled tree"),
+        },
+        // A black node with exactly one (necessarily red) child: the
+        // child absorbs the black.
+        (E, Node(c)) | (Node(c), E) => {
+            debug_assert_eq!(c.color, Red, "single child of a black node must be red");
+            Node(c.clone()).with_color(Black)
+        }
+        (Node(_), Node(_)) => {
+            // Replace this node's entry with the maximum of the left
+            // subtree, then remove that maximum.
+            let (max_k, max_v) = max_entry(&n.left);
+            let new_left = remove_max(&n.left);
+            bubble(n.color, new_left, max_k, max_v, n.right.clone())
+        }
+        _ => unreachable!("EE cannot appear as a child of a settled node"),
+    }
+}
+
+fn max_entry<K: Clone, V: Clone>(t: &Tree<K, V>) -> (K, V) {
+    match t {
+        Node(n) => match &n.right {
+            E | EE => (n.key.clone(), n.value.clone()),
+            _ => max_entry(&n.right),
+        },
+        _ => unreachable!("max of empty tree"),
+    }
+}
+
+fn remove_max<K: Ord + Clone, V: Clone>(t: &Tree<K, V>) -> Tree<K, V> {
+    match t {
+        Node(n) => match &n.right {
+            E | EE => remove_node(n),
+            _ => bubble(
+                n.color,
+                n.left.clone(),
+                n.key.clone(),
+                n.value.clone(),
+                remove_max(&n.right),
+            ),
+        },
+        _ => unreachable!("remove_max of empty tree"),
+    }
+}
+
+fn del<K, V, Q>(t: &Tree<K, V>, key: &Q) -> Option<(Tree<K, V>, V)>
+where
+    K: Ord + Clone + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    match t {
+        E | EE => None,
+        Node(n) => match key.cmp(n.key.borrow()) {
+            Equal => Some((remove_node(n), n.value.clone())),
+            Less => {
+                let (l2, v) = del(&n.left, key)?;
+                Some((
+                    bubble(n.color, l2, n.key.clone(), n.value.clone(), n.right.clone()),
+                    v,
+                ))
+            }
+            Greater => {
+                let (r2, v) = del(&n.right, key)?;
+                Some((
+                    bubble(n.color, n.left.clone(), n.key.clone(), n.value.clone(), r2),
+                    v,
+                ))
+            }
+        },
+    }
+}
+
+/// Forces the root black and discharges a root double black.
+fn blacken<K: Clone, V: Clone>(t: Tree<K, V>) -> Tree<K, V> {
+    match t {
+        E | EE => E,
+        Node(n) => {
+            if n.color == Black {
+                Node(n)
+            } else {
+                Node(n.clone()).with_color(Black)
+            }
+        }
+    }
+}
+
+/// A persistent ordered map backed by a red–black tree.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_trees::rbtree::RbMap;
+///
+/// let v0: RbMap<i64, &str> = RbMap::new();
+/// let v1 = v0.insert(2, "two").0;
+/// let v2 = v1.insert(1, "one").0;
+/// let (v3, removed) = v2.remove(&2).unwrap();
+/// assert_eq!(removed, "two");
+/// assert!(v2.contains_key(&2)); // persistence
+/// assert!(!v3.contains_key(&2));
+/// ```
+pub struct RbMap<K, V> {
+    root: Tree<K, V>,
+}
+
+impl<K, V> Clone for RbMap<K, V> {
+    fn clone(&self) -> Self {
+        RbMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K, V> Default for RbMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> RbMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        RbMap { root: E }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.root.size()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> RbMap<K, V> {
+    /// Inserts `key -> value`, returning the new version and the previous
+    /// value if any.
+    pub fn insert(&self, key: K, value: V) -> (Self, Option<V>) {
+        let (t, old) = ins(&self.root, key, value);
+        (RbMap { root: blacken(t) }, old)
+    }
+
+    /// Inserts only if absent; `None` means present (no new version).
+    pub fn insert_if_absent(&self, key: K, value: V) -> Option<Self> {
+        if self.contains_key(&key) {
+            None
+        } else {
+            Some(self.insert(key, value).0)
+        }
+    }
+
+    /// Removes `key`; `None` means absent (no new version).
+    pub fn remove<Q>(&self, key: &Q) -> Option<(Self, V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let (t, v) = del(&self.root, key)?;
+        Some((RbMap { root: blacken(t) }, v))
+    }
+}
+
+impl<K: Ord, V> RbMap<K, V> {
+    /// Looks up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = &self.root;
+        while let Node(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Less => cur = &n.left,
+                Equal => return Some(&n.value),
+                Greater => cur = &n.right,
+            }
+        }
+        None
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// In-order iterator.
+    pub fn iter(&self) -> RbIter<'_, K, V> {
+        RbIter::new(&self.root)
+    }
+
+    /// Validates red–black invariants; returns the black height.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated order, color, or black-height balance, or if a
+    /// transient color leaked into a settled tree.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<K: Ord, V>(
+            t: &Tree<K, V>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+            parent_red: bool,
+        ) -> (usize, usize) {
+            match t {
+                E => (1, 0),
+                EE => panic!("double-black leaf in settled tree"),
+                Node(n) => {
+                    assert!(
+                        n.color == Red || n.color == Black,
+                        "transient color {:?} in settled tree",
+                        n.color
+                    );
+                    if n.color == Red {
+                        assert!(!parent_red, "red node with red parent");
+                    }
+                    if let Some(lo) = lo {
+                        assert!(n.key > *lo, "BST order violated");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(n.key < *hi, "BST order violated");
+                    }
+                    let (bh_l, sz_l) = walk(&n.left, lo, Some(&n.key), n.color == Red);
+                    let (bh_r, sz_r) = walk(&n.right, Some(&n.key), hi, n.color == Red);
+                    assert_eq!(bh_l, bh_r, "black height mismatch");
+                    assert_eq!(n.size, 1 + sz_l + sz_r, "size field stale");
+                    (bh_l + usize::from(n.color == Black), 1 + sz_l + sz_r)
+                }
+            }
+        }
+        if let Node(n) = &self.root {
+            assert_eq!(n.color, Black, "root must be black");
+        }
+        walk(&self.root, None, None, false).0
+    }
+}
+
+/// In-order iterator over an [`RbMap`].
+pub struct RbIter<'a, K, V> {
+    stack: Vec<&'a RbNode<K, V>>,
+}
+
+impl<'a, K, V> RbIter<'a, K, V> {
+    fn new(root: &'a Tree<K, V>) -> Self {
+        let mut it = RbIter { stack: Vec::new() };
+        it.push_left(root);
+        it
+    }
+    fn push_left(&mut self, mut cur: &'a Tree<K, V>) {
+        while let Node(n) = cur {
+            self.stack.push(n);
+            cur = &n.left;
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for RbIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left(&n.right);
+        Some((&n.key, &n.value))
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for RbMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = RbMap::new();
+        for (k, v) in iter {
+            m = m.insert(k, v).0;
+        }
+        m
+    }
+}
+
+impl<K: fmt::Debug + Ord, V: fmt::Debug> fmt::Debug for RbMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// A persistent ordered set backed by [`RbMap<K, ()>`].
+#[derive(Clone, Default)]
+pub struct RbSet<K> {
+    map: RbMap<K, ()>,
+}
+
+impl<K: Ord + Clone> RbSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RbSet { map: RbMap::new() }
+    }
+
+    /// Inserts `key`; `None` means already present (no-op).
+    pub fn insert(&self, key: K) -> Option<Self> {
+        self.map.insert_if_absent(key, ()).map(|map| RbSet { map })
+    }
+
+    /// Removes `key`; `None` means absent (no-op).
+    pub fn remove<Q>(&self, key: &Q) -> Option<Self>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.remove(key).map(|(map, ())| RbSet { map })
+    }
+
+    /// `true` if present.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.contains_key(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys in order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.map.iter().map(|(k, _)| k)
+    }
+
+    /// Validates invariants; returns the black height.
+    pub fn check_invariants(&self) -> usize {
+        self.map.check_invariants()
+    }
+}
+
+impl<K: Ord + Clone> FromIterator<K> for RbSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        RbSet {
+            map: iter.into_iter().map(|k| (k, ())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: RbMap<i64, i64> = RbMap::new();
+        let (m, old) = m.insert(5, 50);
+        assert_eq!(old, None);
+        let (m, old) = m.insert(5, 51);
+        assert_eq!(old, Some(50));
+        assert_eq!(m.get(&5), Some(&51));
+        m.check_invariants();
+        let (m, v) = m.remove(&5).unwrap();
+        assert_eq!(v, 51);
+        assert!(m.is_empty());
+        assert!(m.remove(&5).is_none());
+    }
+
+    #[test]
+    fn sorted_insertion_stays_balanced() {
+        let n = 1 << 12;
+        let m: RbMap<u64, ()> = (0..n).map(|k| (k, ())).collect();
+        let bh = m.check_invariants();
+        // Black height of an n-node RB tree is between log2(n)/2 and
+        // log2(n)+1.
+        assert!(bh >= 6 && bh <= 14, "black height {bh} out of range");
+        assert_eq!(m.len() as u64, n);
+        assert!(m.iter().map(|(k, _)| *k).eq(0..n));
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_ops() {
+        let mut reference = BTreeMap::new();
+        let mut m: RbMap<i64, i64> = RbMap::new();
+        let mut x = 77u64;
+        for i in 0..6000 {
+            x = crate::hash::splitmix64(x);
+            let k = (x % 400) as i64;
+            if x % 3 == 0 {
+                match (reference.remove(&k), m.remove(&k)) {
+                    (None, None) => {}
+                    (Some(ev), Some((nm, gv))) => {
+                        assert_eq!(ev, gv);
+                        m = nm;
+                    }
+                    other => panic!("mismatch at step {i}: {other:?}"),
+                }
+            } else {
+                let v = (x >> 33) as i64;
+                let (nm, old) = m.insert(k, v);
+                assert_eq!(old, reference.insert(k, v));
+                m = nm;
+            }
+            if x % 256 == 0 {
+                m.check_invariants();
+            }
+        }
+        m.check_invariants();
+        assert!(m.iter().map(|(k, v)| (*k, *v)).eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn deletion_stress_every_key_order() {
+        // Delete in ascending, descending and shuffled orders; the
+        // double-black machinery must hold in all of them.
+        let base: RbMap<i64, i64> = (0..256).map(|k| (k, k)).collect();
+        for mode in 0..3 {
+            let mut m = base.clone();
+            let keys: Vec<i64> = match mode {
+                0 => (0..256).collect(),
+                1 => (0..256).rev().collect(),
+                _ => (0..256).map(|k| (k * 97) % 256).collect(),
+            };
+            for (i, k) in keys.iter().enumerate() {
+                let (nm, v) = m.remove(k).unwrap_or_else(|| panic!("missing {k}"));
+                assert_eq!(v, *k);
+                m = nm;
+                if i % 32 == 0 {
+                    m.check_invariants();
+                }
+            }
+            assert!(m.is_empty());
+        }
+    }
+
+    #[test]
+    fn persistence_between_versions() {
+        let v1: RbMap<i64, i64> = (0..128).map(|k| (k, k)).collect();
+        let (v2, _) = v1.remove(&64).unwrap();
+        let (v3, _) = v2.insert(1000, 1000);
+        assert!(v1.contains_key(&64));
+        assert!(!v2.contains_key(&64));
+        assert!(!v1.contains_key(&1000));
+        assert!(v3.contains_key(&1000));
+        v1.check_invariants();
+        v2.check_invariants();
+        v3.check_invariants();
+    }
+
+    #[test]
+    fn set_facade_noop_semantics() {
+        let s: RbSet<i64> = RbSet::new();
+        let s = s.insert(1).unwrap();
+        assert!(s.insert(1).is_none());
+        assert!(s.remove(&2).is_none());
+        let s2 = s.remove(&1).unwrap();
+        assert!(s.contains(&1));
+        assert!(s2.is_empty());
+    }
+}

@@ -1,0 +1,1075 @@
+//! Persistent treap — the data structure the paper benchmarks.
+//!
+//! A treap (Seidel & Aragon, *Randomized search trees*, Algorithmica 1996)
+//! is a binary search tree in key order that is simultaneously a max-heap
+//! in priority order; with uniform random priorities its height is
+//! `O(log n)` with high probability.
+//!
+//! This implementation is **persistent**: every modifying operation
+//! returns a *new* version and leaves the receiver untouched. New versions
+//! share all untouched nodes with the old version; an update allocates
+//! only the nodes on (roughly) the root-to-key search path — this is the
+//! *path copying* of the paper's title, and the source of the cache
+//! effect it analyzes.
+//!
+//! Priorities are derived by hashing the key (see [`crate::hash`]), so a
+//! given key set always produces the same canonical tree, regardless of
+//! operation order. Explicit-priority entry points exist for callers that
+//! want classical randomized behaviour.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering::{Equal, Greater, Less};
+use std::fmt;
+use std::hash::Hash;
+use std::ops::Bound;
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+use crate::hash::priority_of;
+
+/// Shared, immutable treap node.
+#[derive(Debug)]
+pub struct Node<K, V> {
+    key: K,
+    value: V,
+    priority: u64,
+    /// Number of nodes in this subtree (enables rank/select in O(log n)).
+    size: usize,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+pub(crate) type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+impl<K, V> Node<K, V> {
+    /// The node's key.
+    pub fn key(&self) -> &K {
+        &self.key
+    }
+    /// The node's value.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+    /// The node's heap priority.
+    pub fn priority(&self) -> u64 {
+        self.priority
+    }
+    /// Left child, if any.
+    pub fn left(&self) -> Option<&Arc<Node<K, V>>> {
+        self.left.as_ref()
+    }
+    /// Right child, if any.
+    pub fn right(&self) -> Option<&Arc<Node<K, V>>> {
+        self.right.as_ref()
+    }
+}
+
+#[inline]
+fn size_of<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+#[inline]
+fn mk<K, V>(key: K, value: V, priority: u64, left: Link<K, V>, right: Link<K, V>) -> Arc<Node<K, V>> {
+    let size = 1 + size_of(&left) + size_of(&right);
+    Arc::new(Node {
+        key,
+        value,
+        priority,
+        size,
+        left,
+        right,
+    })
+}
+
+/// A persistent ordered map backed by a treap.
+///
+/// Cloning is O(1) (it clones an `Arc` and a counter); all updates are
+/// O(log n) expected time and allocate O(log n) nodes, sharing the rest
+/// with the previous version.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_trees::TreapMap;
+///
+/// let v0: TreapMap<i64, &str> = TreapMap::new();
+/// let (v1, _) = v0.insert(1, "one");
+/// let (v2, _) = v1.insert(2, "two");
+/// let (v3, old) = v2.insert(1, "uno");
+/// assert_eq!(old, Some("one"));
+///
+/// // Every version is still intact:
+/// assert_eq!(v1.get(&1), Some(&"one"));
+/// assert_eq!(v3.get(&1), Some(&"uno"));
+/// assert_eq!(v0.len(), 0);
+/// ```
+pub struct TreapMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Clone for TreapMap<K, V> {
+    fn clone(&self) -> Self {
+        TreapMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K, V> Default for TreapMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> TreapMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        TreapMap { root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size_of(&self.root)
+    }
+
+    /// `true` if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// The root node, exposed for structural inspection (sharing
+    /// measurements, invariant checks).
+    pub fn root(&self) -> Option<&Arc<Node<K, V>>> {
+        self.root.as_ref()
+    }
+}
+
+impl<K: Ord + Clone + Hash, V: Clone> TreapMap<K, V> {
+    /// Inserts `key -> value` with the canonical hashed priority,
+    /// returning the new version and the previous value, if any.
+    pub fn insert(&self, key: K, value: V) -> (Self, Option<V>) {
+        let priority = priority_of(&key);
+        self.insert_with_priority(key, value, priority)
+    }
+
+    /// Inserts `key -> value` only if absent; `None` means the key was
+    /// already present and **no new version was created** (the operation
+    /// is a no-op, letting the universal construction skip its CAS).
+    ///
+    /// Single traversal: presence is detected during the descent, so a
+    /// no-op costs no allocation.
+    pub fn insert_if_absent(&self, key: K, value: V) -> Option<Self> {
+        let priority = priority_of(&key);
+        insert_new_rec(&self.root, key, value, priority).map(|root| TreapMap { root: Some(root) })
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> TreapMap<K, V> {
+    /// Inserts with an explicit priority (classical randomized treap use).
+    pub fn insert_with_priority(&self, key: K, value: V, priority: u64) -> (Self, Option<V>) {
+        let (root, old) = insert_rec(&self.root, key, value, priority);
+        (TreapMap { root: Some(root) }, old)
+    }
+
+    /// Removes `key`, returning the new version and the removed value;
+    /// `None` means the key was absent (no new version created).
+    pub fn remove<Q>(&self, key: &Q) -> Option<(Self, V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        remove_rec(&self.root, key).map(|(root, v)| (TreapMap { root }, v))
+    }
+
+    /// Splits into (`< key`, value at `key`, `> key`).
+    pub fn split<Q>(&self, key: &Q) -> (Self, Option<V>, Self)
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let (l, m, r) = split_rec(&self.root, key);
+        (
+            TreapMap { root: l },
+            m.map(|n| n.value.clone()),
+            TreapMap { root: r },
+        )
+    }
+
+    /// Joins two maps; every key of `self` must be strictly less than
+    /// every key of `right`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the key ranges overlap.
+    pub fn join(&self, right: &Self) -> Self {
+        debug_assert!(
+            match (self.max_entry(), right.min_entry()) {
+                (Some((a, _)), Some((b, _))) => a < b,
+                _ => true,
+            },
+            "join requires disjoint, ordered key ranges"
+        );
+        TreapMap {
+            root: merge(&self.root, &right.root),
+        }
+    }
+
+    /// Set-union of two maps; on key collisions values from `self` win.
+    pub fn union(&self, other: &Self) -> Self {
+        TreapMap {
+            root: union_rec(&self.root, &other.root),
+        }
+    }
+
+    /// Returns the entry with the smallest key ≥ `key`.
+    pub fn ceiling<Q>(&self, key: &Q) -> Option<(&K, &V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut best = None;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Less => {
+                    best = Some((&n.key, &n.value));
+                    cur = n.left.as_deref();
+                }
+                Equal => return Some((&n.key, &n.value)),
+                Greater => cur = n.right.as_deref(),
+            }
+        }
+        best
+    }
+
+    /// Returns the entry with the largest key ≤ `key`.
+    pub fn floor<Q>(&self, key: &Q) -> Option<(&K, &V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut best = None;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Greater => {
+                    best = Some((&n.key, &n.value));
+                    cur = n.right.as_deref();
+                }
+                Equal => return Some((&n.key, &n.value)),
+                Less => cur = n.left.as_deref(),
+            }
+        }
+        best
+    }
+}
+
+impl<K: Ord, V> TreapMap<K, V> {
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Less => cur = n.left.as_deref(),
+                Equal => return Some(&n.value),
+                Greater => cur = n.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// `true` if the key is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Entry with the minimum key.
+    pub fn min_entry(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(l) = cur.left.as_deref() {
+            cur = l;
+        }
+        Some((&cur.key, &cur.value))
+    }
+
+    /// Entry with the maximum key.
+    pub fn max_entry(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(r) = cur.right.as_deref() {
+            cur = r;
+        }
+        Some((&cur.key, &cur.value))
+    }
+
+    /// Entry with rank `k` (0-based in key order).
+    pub fn select(&self, mut k: usize) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_deref()?;
+        loop {
+            let ls = size_of(&cur.left);
+            match k.cmp(&ls) {
+                Less => cur = cur.left.as_deref()?,
+                Equal => return Some((&cur.key, &cur.value)),
+                Greater => {
+                    k -= ls + 1;
+                    cur = cur.right.as_deref()?;
+                }
+            }
+        }
+    }
+
+    /// Number of keys strictly less than `key`.
+    pub fn rank<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        let mut acc = 0;
+        while let Some(n) = cur {
+            match key.cmp(n.key.borrow()) {
+                Less => cur = n.left.as_deref(),
+                Equal => return acc + size_of(&n.left),
+                Greater => {
+                    acc += size_of(&n.left) + 1;
+                    cur = n.right.as_deref();
+                }
+            }
+        }
+        acc
+    }
+
+    /// In-order iterator over `(&K, &V)`.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter::new(&self.root)
+    }
+
+    /// In-order iterator over keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// In-order iterator over the entries whose keys lie in `range`.
+    pub fn range<R>(&self, range: R) -> Range<'_, K, V, R>
+    where
+        R: RangeBounds<K>,
+    {
+        Range::new(&self.root, range)
+    }
+
+    /// Tree height (0 for the empty tree). O(n).
+    pub fn height(&self) -> usize {
+        fn h<K, V>(link: &Link<K, V>) -> usize {
+            link.as_ref().map_or(0, |n| 1 + h(&n.left).max(h(&n.right)))
+        }
+        h(&self.root)
+    }
+
+    /// Number of nodes on the root-to-key search path (the quantity the
+    /// paper's cost model charges per operation). Counts nodes visited
+    /// until the key is found or a nil child is reached.
+    pub fn path_len<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut cur = self.root.as_deref();
+        let mut n_visited = 0;
+        while let Some(n) = cur {
+            n_visited += 1;
+            match key.cmp(n.key.borrow()) {
+                Less => cur = n.left.as_deref(),
+                Equal => break,
+                Greater => cur = n.right.as_deref(),
+            }
+        }
+        n_visited
+    }
+
+    /// Validates the treap invariants, returning the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if key order, heap order, or size bookkeeping is violated.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<K: Ord, V>(link: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> usize {
+            match link {
+                None => 0,
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        assert!(n.key > *lo, "BST order violated (left bound)");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(n.key < *hi, "BST order violated (right bound)");
+                    }
+                    for child in [&n.left, &n.right] {
+                        if let Some(c) = child {
+                            assert!(
+                                c.priority <= n.priority,
+                                "heap order violated: child priority above parent"
+                            );
+                        }
+                    }
+                    let ls = walk(&n.left, lo, Some(&n.key));
+                    let rs = walk(&n.right, Some(&n.key), hi);
+                    assert_eq!(n.size, ls + rs + 1, "size field out of date");
+                    n.size
+                }
+            }
+        }
+        walk(&self.root, None, None)
+    }
+}
+
+impl<K: Ord + Clone + Hash, V: Clone> FromIterator<(K, V)> for TreapMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = TreapMap::new();
+        for (k, v) in iter {
+            map = map.insert(k, v).0;
+        }
+        map
+    }
+}
+
+impl<K: fmt::Debug + Ord, V: fmt::Debug> fmt::Debug for TreapMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord, V: PartialEq> PartialEq for TreapMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+impl<K: Ord, V: Eq> Eq for TreapMap<K, V> {}
+
+// ---------------------------------------------------------------------------
+// Recursive machinery. Every function here allocates only along the search
+// path: untouched subtrees are shared via `Arc` clones.
+// ---------------------------------------------------------------------------
+
+/// Copies a node, replacing its children.
+#[inline]
+fn with_children<K: Clone, V: Clone>(
+    n: &Node<K, V>,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Arc<Node<K, V>> {
+    mk(n.key.clone(), n.value.clone(), n.priority, left, right)
+}
+
+fn insert_rec<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+    priority: u64,
+) -> (Arc<Node<K, V>>, Option<V>) {
+    match link {
+        None => (mk(key, value, priority, None, None), None),
+        Some(n) => {
+            if priority > n.priority {
+                // The new node belongs above this subtree: split the
+                // subtree around the key and put the new node on top.
+                let (l, m, r) = split_rec(link, &key);
+                let old = m.map(|mid| mid.value.clone());
+                (mk(key, value, priority, l, r), old)
+            } else {
+                match key.cmp(&n.key) {
+                    Equal => (
+                        // Same key: replace the value, keep shape.
+                        mk(key, value, n.priority, n.left.clone(), n.right.clone()),
+                        Some(n.value.clone()),
+                    ),
+                    Less => {
+                        let (nl, old) = insert_rec(&n.left, key, value, priority);
+                        // `nl.priority <= n.priority` (the new node either
+                        // stayed below or had priority <= ours), so the
+                        // heap property holds without rotations here.
+                        (with_children(n, Some(nl), n.right.clone()), old)
+                    }
+                    Greater => {
+                        let (nr, old) = insert_rec(&n.right, key, value, priority);
+                        (with_children(n, n.left.clone(), Some(nr)), old)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Insert-if-absent in one pass: returns `None` (no allocation beyond the
+/// already-built spine) when the key is found.
+fn insert_new_rec<K: Ord + Clone, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+    priority: u64,
+) -> Option<Arc<Node<K, V>>> {
+    match link {
+        None => Some(mk(key, value, priority, None, None)),
+        Some(n) => {
+            if priority > n.priority {
+                // With hashed priorities an existing key would have our
+                // exact priority and we could not be above it, so `m` is
+                // None except under explicit priorities or hash ties.
+                let (l, m, r) = split_rec(link, &key);
+                if m.is_some() {
+                    return None;
+                }
+                Some(mk(key, value, priority, l, r))
+            } else {
+                match key.cmp(&n.key) {
+                    Equal => None,
+                    Less => {
+                        let nl = insert_new_rec(&n.left, key, value, priority)?;
+                        Some(with_children(n, Some(nl), n.right.clone()))
+                    }
+                    Greater => {
+                        let nr = insert_new_rec(&n.right, key, value, priority)?;
+                        Some(with_children(n, n.left.clone(), Some(nr)))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn remove_rec<K, V, Q>(link: &Link<K, V>, key: &Q) -> Option<(Link<K, V>, V)>
+where
+    K: Ord + Clone + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    let n = link.as_ref()?;
+    match key.cmp(n.key.borrow()) {
+        Equal => Some((merge(&n.left, &n.right), n.value.clone())),
+        Less => {
+            let (nl, v) = remove_rec(&n.left, key)?;
+            Some((Some(with_children(n, nl, n.right.clone())), v))
+        }
+        Greater => {
+            let (nr, v) = remove_rec(&n.right, key)?;
+            Some((Some(with_children(n, n.left.clone(), nr)), v))
+        }
+    }
+}
+
+/// Merges two treaps where every key of `l` < every key of `r`.
+fn merge<K: Ord + Clone, V: Clone>(l: &Link<K, V>, r: &Link<K, V>) -> Link<K, V> {
+    match (l, r) {
+        (None, _) => r.clone(),
+        (_, None) => l.clone(),
+        (Some(a), Some(b)) => {
+            if a.priority >= b.priority {
+                Some(with_children(a, a.left.clone(), merge(&a.right, r)))
+            } else {
+                Some(with_children(b, merge(l, &b.left), b.right.clone()))
+            }
+        }
+    }
+}
+
+/// Splits around `key` into (`< key`, the node with `key` if present,
+/// `> key`).
+#[allow(clippy::type_complexity)]
+fn split_rec<K, V, Q>(link: &Link<K, V>, key: &Q) -> (Link<K, V>, Option<Arc<Node<K, V>>>, Link<K, V>)
+where
+    K: Ord + Clone + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    match link {
+        None => (None, None, None),
+        Some(n) => match key.cmp(n.key.borrow()) {
+            Equal => (n.left.clone(), Some(n.clone()), n.right.clone()),
+            Less => {
+                let (l, m, lr) = split_rec(&n.left, key);
+                (l, m, Some(with_children(n, lr, n.right.clone())))
+            }
+            Greater => {
+                let (rl, m, r) = split_rec(&n.right, key);
+                (Some(with_children(n, n.left.clone(), rl)), m, r)
+            }
+        },
+    }
+}
+
+/// Union by split-and-recurse; `a`'s values win on collisions. The root
+/// of the result is whichever input root has the higher priority, which
+/// keeps the heap order intact.
+fn union_rec<K: Ord + Clone, V: Clone>(a: &Link<K, V>, b: &Link<K, V>) -> Link<K, V> {
+    match (a, b) {
+        (None, _) => b.clone(),
+        (_, None) => a.clone(),
+        (Some(an), Some(bn)) => {
+            if an.priority >= bn.priority {
+                let (bl, _bm, br) = split_rec(b, an.key.borrow());
+                let left = union_rec(&an.left, &bl);
+                let right = union_rec(&an.right, &br);
+                Some(with_children(an, left, right))
+            } else {
+                let (al, am, ar) = split_rec(a, bn.key.borrow());
+                let left = union_rec(&al, &bn.left);
+                let right = union_rec(&ar, &bn.right);
+                // `a`'s value wins if both trees carry `bn.key`.
+                let value = am.map_or_else(|| bn.value.clone(), |m| m.value.clone());
+                Some(mk(bn.key.clone(), value, bn.priority, left, right))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterators
+// ---------------------------------------------------------------------------
+
+/// In-order iterator over a [`TreapMap`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn new(root: &'a Link<K, V>) -> Self {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left_spine(root.as_deref());
+        it
+    }
+
+    fn push_left_spine(&mut self, mut cur: Option<&'a Node<K, V>>) {
+        while let Some(n) = cur {
+            self.stack.push(n);
+            cur = n.left.as_deref();
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left_spine(n.right.as_deref());
+        Some((&n.key, &n.value))
+    }
+}
+
+/// Iterator over a key range of a [`TreapMap`].
+pub struct Range<'a, K, V, R> {
+    stack: Vec<&'a Node<K, V>>,
+    range: R,
+}
+
+impl<'a, K: Ord, V, R: RangeBounds<K>> Range<'a, K, V, R> {
+    fn new(root: &'a Link<K, V>, range: R) -> Self {
+        let mut it = Range {
+            stack: Vec::new(),
+            range,
+        };
+        it.push_from(root.as_deref());
+        it
+    }
+
+    /// Pushes the left spine, skipping subtrees entirely below the lower
+    /// bound.
+    fn push_from(&mut self, mut cur: Option<&'a Node<K, V>>) {
+        while let Some(n) = cur {
+            let below = match self.range.start_bound() {
+                Bound::Included(lo) => n.key < *lo,
+                Bound::Excluded(lo) => n.key <= *lo,
+                Bound::Unbounded => false,
+            };
+            if below {
+                cur = n.right.as_deref();
+            } else {
+                self.stack.push(n);
+                cur = n.left.as_deref();
+            }
+        }
+    }
+}
+
+impl<'a, K: Ord, V, R: RangeBounds<K>> Iterator for Range<'a, K, V, R> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_from(n.right.as_deref());
+        let above = match self.range.end_bound() {
+            Bound::Included(hi) => n.key > *hi,
+            Bound::Excluded(hi) => n.key >= *hi,
+            Bound::Unbounded => false,
+        };
+        if above {
+            self.stack.clear();
+            return None;
+        }
+        Some((&n.key, &n.value))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Set façade
+// ---------------------------------------------------------------------------
+
+/// A persistent ordered set backed by [`TreapMap<K, ()>`].
+///
+/// `insert`/`remove` return `None` when the operation would not change the
+/// set, so the universal construction can skip its CAS (paper §4.2: "some
+/// operations do not modify the data structure").
+#[derive(Clone, Default)]
+pub struct TreapSet<K> {
+    map: TreapMap<K, ()>,
+}
+
+impl<K: Ord + Clone + Hash> TreapSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self
+    where
+        K: Default,
+    {
+        TreapSet { map: TreapMap::new() }
+    }
+
+    /// Creates an empty set (no `Default` bound).
+    pub fn empty() -> Self {
+        TreapSet { map: TreapMap::new() }
+    }
+
+    /// Inserts `key`; `None` means it was already present.
+    pub fn insert(&self, key: K) -> Option<Self> {
+        self.map
+            .insert_if_absent(key, ())
+            .map(|map| TreapSet { map })
+    }
+
+    /// Removes `key`; `None` means it was absent.
+    pub fn remove<Q>(&self, key: &Q) -> Option<Self>
+    where
+        K: Borrow<Q>,
+        Q: Ord + Hash + ?Sized,
+    {
+        self.map.remove(key).map(|(map, ())| TreapSet { map })
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        TreapSet {
+            map: self.map.union(&other.map),
+        }
+    }
+}
+
+impl<K: Ord> TreapSet<K> {
+    /// `true` if `key` is present.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.map.contains_key(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterator over keys in order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    /// The underlying map (for structural inspection).
+    pub fn as_map(&self) -> &TreapMap<K, ()> {
+        &self.map
+    }
+
+    /// Validates treap invariants; returns the node count.
+    pub fn check_invariants(&self) -> usize {
+        self.map.check_invariants()
+    }
+}
+
+impl<K: fmt::Debug + Ord> fmt::Debug for TreapSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone + Hash> FromIterator<K> for TreapSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        TreapSet {
+            map: iter.into_iter().map(|k| (k, ())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_map_basics() {
+        let m: TreapMap<i64, i64> = TreapMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.iter().count(), 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let m = TreapMap::new();
+        let (m, old) = m.insert(5, "five");
+        assert_eq!(old, None);
+        let (m, old) = m.insert(3, "three");
+        assert_eq!(old, None);
+        let (m, old) = m.insert(5, "FIVE");
+        assert_eq!(old, Some("five"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&5), Some(&"FIVE"));
+        let (m, v) = m.remove(&5).unwrap();
+        assert_eq!(v, "FIVE");
+        assert_eq!(m.len(), 1);
+        assert!(m.remove(&5).is_none());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn persistence_versions_are_independent() {
+        let v0: TreapMap<i64, i64> = TreapMap::new();
+        let (v1, _) = v0.insert(1, 10);
+        let (v2, _) = v1.insert(2, 20);
+        let (v3, _) = v2.remove(&1).unwrap();
+        assert_eq!(v0.len(), 0);
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v2.len(), 2);
+        assert_eq!(v3.len(), 1);
+        assert_eq!(v1.get(&1), Some(&10));
+        assert_eq!(v3.get(&1), None);
+        for v in [&v0, &v1, &v2, &v3] {
+            v.check_invariants();
+        }
+    }
+
+    #[test]
+    fn canonical_shape_is_history_independent() {
+        // Hashed priorities: the same key set must give the same tree no
+        // matter the insertion/removal history.
+        let a: TreapMap<i64, i64> = (0..100).map(|k| (k, k)).collect();
+        let mut b: TreapMap<i64, i64> = (0..200).rev().map(|k| (k, k)).collect();
+        for k in 100..200 {
+            b = b.remove(&k).unwrap().0;
+        }
+        fn same_shape<K: Ord, V>(a: &Link<K, V>, b: &Link<K, V>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => {
+                    x.key == y.key
+                        && same_shape(&x.left, &y.left)
+                        && same_shape(&x.right, &y.right)
+                }
+                _ => false,
+            }
+        }
+        assert!(same_shape(&a.root, &b.root));
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_ops() {
+        let mut reference = BTreeMap::new();
+        let mut m: TreapMap<i64, i64> = TreapMap::new();
+        let mut x = 12345u64;
+        for _ in 0..4000 {
+            x = crate::hash::splitmix64(x);
+            let k = (x % 500) as i64;
+            if x % 3 == 0 {
+                let expected = reference.remove(&k);
+                let got = m.remove(&k);
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(ev), Some((nm, gv))) => {
+                        assert_eq!(ev, gv);
+                        m = nm;
+                    }
+                    other => panic!("remove mismatch: {other:?}"),
+                }
+            } else {
+                let v = (x >> 32) as i64;
+                let expected = reference.insert(k, v);
+                let (nm, got) = m.insert(k, v);
+                assert_eq!(expected, got);
+                m = nm;
+            }
+        }
+        assert_eq!(m.len(), reference.len());
+        assert!(m.iter().map(|(k, v)| (*k, *v)).eq(reference.into_iter()));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let m: TreapMap<i64, i64> = (0..1000).map(|k| (k * 7 % 1000, k)).collect();
+        let keys: Vec<i64> = m.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), m.len());
+    }
+
+    #[test]
+    fn range_queries() {
+        let m: TreapMap<i64, i64> = (0..100).map(|k| (k, k)).collect();
+        let got: Vec<i64> = m.range(10..20).map(|(k, _)| *k).collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+        let got: Vec<i64> = m.range(90..).map(|(k, _)| *k).collect();
+        assert_eq!(got, (90..100).collect::<Vec<_>>());
+        let got: Vec<i64> = m.range(..=5).map(|(k, _)| *k).collect();
+        assert_eq!(got, (0..=5).collect::<Vec<_>>());
+        let got: Vec<i64> = m.range(200..300).map(|(k, _)| *k).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn rank_select_floor_ceiling() {
+        let m: TreapMap<i64, i64> = (0..100).map(|k| (k * 2, k)).collect(); // evens 0..198
+        assert_eq!(m.select(0).unwrap().0, &0);
+        assert_eq!(m.select(99).unwrap().0, &198);
+        assert!(m.select(100).is_none());
+        assert_eq!(m.rank(&0), 0);
+        assert_eq!(m.rank(&7), 4); // 0,2,4,6
+        assert_eq!(m.rank(&500), 100);
+        assert_eq!(m.floor(&7).unwrap().0, &6);
+        assert_eq!(m.ceiling(&7).unwrap().0, &8);
+        assert_eq!(m.floor(&-1), None);
+        assert_eq!(m.ceiling(&199), None);
+        assert_eq!(m.min_entry().unwrap().0, &0);
+        assert_eq!(m.max_entry().unwrap().0, &198);
+    }
+
+    #[test]
+    fn split_and_join() {
+        let m: TreapMap<i64, i64> = (0..100).map(|k| (k, k)).collect();
+        let (l, mid, r) = m.split(&50);
+        assert_eq!(mid, Some(50));
+        assert_eq!(l.len(), 50);
+        assert_eq!(r.len(), 49);
+        l.check_invariants();
+        r.check_invariants();
+        let joined = l.join(&r);
+        assert_eq!(joined.len(), 99);
+        assert!(!joined.contains_key(&50));
+        joined.check_invariants();
+    }
+
+    #[test]
+    fn union_prefers_left_values() {
+        let a: TreapMap<i64, &str> = [(1, "a1"), (2, "a2")].into_iter().collect();
+        let b: TreapMap<i64, &str> = [(2, "b2"), (3, "b3")].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.get(&2), Some(&"a2"));
+        assert_eq!(u.get(&3), Some(&"b3"));
+        u.check_invariants();
+    }
+
+    #[test]
+    fn path_copying_shares_structure() {
+        let m: TreapMap<i64, i64> = (0..1024).map(|k| (k, k)).collect();
+        let height = m.height();
+        let (m2, _) = m.insert(5000, 5000);
+        // Count nodes of m2 not shared with m: must be bounded by the
+        // path length (+1 for a possible split spine), not the tree size.
+        let olds: std::collections::HashSet<*const Node<i64, i64>> = {
+            fn collect<K, V>(l: &Link<K, V>, out: &mut std::collections::HashSet<*const Node<K, V>>) {
+                if let Some(n) = l {
+                    out.insert(Arc::as_ptr(n));
+                    collect(&n.left, out);
+                    collect(&n.right, out);
+                }
+            }
+            let mut s = std::collections::HashSet::new();
+            collect(&m.root, &mut s);
+            s
+        };
+        fn count_fresh<K, V>(
+            l: &Link<K, V>,
+            olds: &std::collections::HashSet<*const Node<K, V>>,
+        ) -> usize {
+            match l {
+                None => 0,
+                Some(n) => {
+                    if olds.contains(&Arc::as_ptr(n)) {
+                        0 // entire subtree is shared
+                    } else {
+                        1 + count_fresh(&n.left, olds) + count_fresh(&n.right, olds)
+                    }
+                }
+            }
+        }
+        let fresh = count_fresh(&m2.root, &olds);
+        assert!(fresh > 0);
+        assert!(
+            fresh <= 2 * height + 2,
+            "insert allocated {fresh} nodes, expected O(path) = O({height})"
+        );
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let n = 1 << 14;
+        let m: TreapMap<u64, ()> = (0..n).map(|k| (k, ())).collect();
+        let h = m.height();
+        // E[height] ≈ 3 log2 n for treaps; 6 log2 n is a generous bound.
+        let bound = 6 * (n as f64).log2() as usize;
+        assert!(h <= bound, "height {h} exceeds {bound}");
+    }
+
+    #[test]
+    fn set_facade_noop_semantics() {
+        let s: TreapSet<i64> = TreapSet::empty();
+        let s = s.insert(1).unwrap();
+        assert!(s.insert(1).is_none(), "duplicate insert is a no-op");
+        assert!(s.remove(&2).is_none(), "absent remove is a no-op");
+        let s2 = s.remove(&1).unwrap();
+        assert!(s.contains(&1), "old version untouched");
+        assert!(!s2.contains(&1));
+        assert_eq!(s2.len(), 0);
+    }
+
+    #[test]
+    fn insert_with_priority_can_build_spines() {
+        // Monotone priorities force a right spine: check it stays a valid
+        // treap (exercise explicit-priority path, incl. `split_rec`).
+        let mut m: TreapMap<i64, ()> = TreapMap::new();
+        for (i, k) in (0..64).enumerate() {
+            m = m.insert_with_priority(k, (), 1000 + i as u64).0;
+        }
+        m.check_invariants();
+        assert_eq!(m.len(), 64);
+        // Re-insert an existing key with a much higher priority: it must
+        // move to the root while preserving the key set.
+        let (m2, old) = m.insert_with_priority(32, (), u64::MAX);
+        assert_eq!(old, Some(()));
+        assert_eq!(m2.len(), 64);
+        m2.check_invariants();
+        assert_eq!(m2.root().unwrap().key(), &32);
+    }
+}

@@ -1,0 +1,424 @@
+//! # pathcopy-workloads
+//!
+//! Workload generators for the paper's experiments (§4 and Appendix B).
+//!
+//! * [`batch`] — §4.1 *Batch inserts and batch removes*: a prefilled set
+//!   of 10⁶ random keys; each process owns a disjoint block of fresh keys
+//!   and repeatedly inserts all of them, then removes all of them. Every
+//!   operation successfully modifies the structure.
+//! * [`random`] — §4.2 *Random inserts and removes*: prefill by inserting
+//!   10⁶ uniform keys from `[-10⁶, 10⁶]`; each process then repeatedly
+//!   draws a uniform key and inserts or removes it with probability ½.
+//!   Roughly half the operations do not modify the structure.
+//! * [`mixed`] — read/write mixes with uniform or Zipfian key choice
+//!   (the "more results" style of Appendix B).
+//!
+//! Generators are deterministic given a seed, and each process gets an
+//! independent RNG stream, so runs are reproducible and allocation-free
+//! on the hot path.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod zipf;
+
+/// One operation of a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the key.
+    Insert(i64),
+    /// Remove the key.
+    Remove(i64),
+    /// Membership query for the key.
+    Contains(i64),
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> i64 {
+        match *self {
+            Op::Insert(k) | Op::Remove(k) | Op::Contains(k) => k,
+        }
+    }
+
+    /// `true` for operations that may modify the structure.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, Op::Contains(_))
+    }
+}
+
+/// An infinite, per-process operation stream.
+pub trait OpStream: Send {
+    /// Produces the next operation.
+    fn next_op(&mut self) -> Op;
+}
+
+/// The paper's default scale: 10⁶ prefilled keys.
+pub const PAPER_PREFILL: usize = 1_000_000;
+/// The paper's key range for the Random workload: `[-10⁶, 10⁶]`.
+pub const PAPER_KEY_RANGE: i64 = 1_000_000;
+
+// ---------------------------------------------------------------------------
+// Batch workload (§4.1)
+// ---------------------------------------------------------------------------
+
+/// The §4.1 workload: prefill keys plus per-process disjoint key blocks.
+#[derive(Debug, Clone)]
+pub struct BatchWorkload {
+    /// Keys inserted before measurement starts.
+    pub prefill: Vec<i64>,
+    /// One disjoint key block per process; disjoint from `prefill` too,
+    /// so every generated operation modifies the structure.
+    pub per_process: Vec<Vec<i64>>,
+}
+
+impl BatchWorkload {
+    /// Generates the workload: `prefill_size` distinct random keys plus
+    /// `processes` blocks of `keys_per_process` distinct fresh keys.
+    pub fn generate(
+        processes: usize,
+        prefill_size: usize,
+        keys_per_process: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = prefill_size + processes * keys_per_process;
+        let mut seen = HashSet::with_capacity(total);
+        let mut draw_fresh = |rng: &mut StdRng| loop {
+            let k: i64 = rng.gen();
+            if seen.insert(k) {
+                return k;
+            }
+        };
+        let prefill: Vec<i64> = (0..prefill_size).map(|_| draw_fresh(&mut rng)).collect();
+        let per_process: Vec<Vec<i64>> = (0..processes)
+            .map(|_| (0..keys_per_process).map(|_| draw_fresh(&mut rng)).collect())
+            .collect();
+        BatchWorkload {
+            prefill,
+            per_process,
+        }
+    }
+
+    /// Builds the per-process operation streams.
+    pub fn streams(&self) -> Vec<BatchStream> {
+        self.per_process
+            .iter()
+            .map(|keys| BatchStream::new(keys.clone()))
+            .collect()
+    }
+}
+
+/// Stream for one Batch process: insert all its keys, then remove all of
+/// them, forever.
+#[derive(Debug, Clone)]
+pub struct BatchStream {
+    keys: Vec<i64>,
+    index: usize,
+    removing: bool,
+}
+
+impl BatchStream {
+    /// Creates a stream over this process's key block.
+    pub fn new(keys: Vec<i64>) -> Self {
+        assert!(!keys.is_empty(), "a batch stream needs at least one key");
+        BatchStream {
+            keys,
+            index: 0,
+            removing: false,
+        }
+    }
+}
+
+impl OpStream for BatchStream {
+    fn next_op(&mut self) -> Op {
+        let k = self.keys[self.index];
+        let op = if self.removing {
+            Op::Remove(k)
+        } else {
+            Op::Insert(k)
+        };
+        self.index += 1;
+        if self.index == self.keys.len() {
+            self.index = 0;
+            self.removing = !self.removing;
+        }
+        op
+    }
+}
+
+/// Convenience: the §4.1 workload at paper scale (10⁶ prefill).
+pub fn batch(processes: usize, keys_per_process: usize, seed: u64) -> BatchWorkload {
+    BatchWorkload::generate(processes, PAPER_PREFILL, keys_per_process, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Random workload (§4.2)
+// ---------------------------------------------------------------------------
+
+/// The §4.2 workload: the prefill insert sequence plus stream parameters.
+#[derive(Debug, Clone)]
+pub struct RandomWorkload {
+    /// Keys inserted (with duplicates collapsing) before measurement.
+    pub prefill: Vec<i64>,
+    /// Keys are drawn uniformly from `[-key_range, key_range]`.
+    pub key_range: i64,
+    seed: u64,
+    processes: usize,
+}
+
+impl RandomWorkload {
+    /// Generates the prefill sequence: `prefill_inserts` uniform draws
+    /// from `[-key_range, key_range]` (duplicates allowed, as in the
+    /// paper: "we first insert 10⁶ random integers").
+    pub fn generate(processes: usize, prefill_inserts: usize, key_range: i64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prefill = (0..prefill_inserts)
+            .map(|_| rng.gen_range(-key_range..=key_range))
+            .collect();
+        RandomWorkload {
+            prefill,
+            key_range,
+            seed,
+            processes,
+        }
+    }
+
+    /// Builds the per-process operation streams (independent RNGs).
+    pub fn streams(&self) -> Vec<RandomStream> {
+        (0..self.processes)
+            .map(|p| RandomStream::new(self.key_range, self.seed ^ (0x9e37_79b9 + p as u64)))
+            .collect()
+    }
+}
+
+/// Stream for one Random process: uniform key, insert/remove with equal
+/// probability.
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    rng: StdRng,
+    key_range: i64,
+}
+
+impl RandomStream {
+    /// Creates a stream drawing from `[-key_range, key_range]`.
+    pub fn new(key_range: i64, seed: u64) -> Self {
+        RandomStream {
+            rng: StdRng::seed_from_u64(seed),
+            key_range,
+        }
+    }
+}
+
+impl OpStream for RandomStream {
+    fn next_op(&mut self) -> Op {
+        let k = self.rng.gen_range(-self.key_range..=self.key_range);
+        if self.rng.gen::<bool>() {
+            Op::Insert(k)
+        } else {
+            Op::Remove(k)
+        }
+    }
+}
+
+/// Convenience: the §4.2 workload at paper scale.
+pub fn random(processes: usize, seed: u64) -> RandomWorkload {
+    RandomWorkload::generate(processes, PAPER_PREFILL, PAPER_KEY_RANGE, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Mixed read/write workload (extension)
+// ---------------------------------------------------------------------------
+
+/// Key-choice distribution for [`MixedStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `[-range, range]`.
+    Uniform {
+        /// Key magnitude bound.
+        range: i64,
+    },
+    /// Zipfian over `[0, n)` with exponent `theta` (hot keys are small).
+    Zipf {
+        /// Number of distinct keys.
+        n: u64,
+        /// Skew exponent (0 = uniform, 0.99 = YCSB-like).
+        theta: f64,
+    },
+}
+
+/// Stream mixing reads and updates: with probability `read_fraction` a
+/// `Contains`, otherwise an `Insert`/`Remove` coin flip.
+#[derive(Debug, Clone)]
+pub struct MixedStream {
+    rng: StdRng,
+    dist: KeyDist,
+    zipf: Option<zipf::Zipf>,
+    read_fraction: f64,
+}
+
+impl MixedStream {
+    /// Creates a mixed stream.
+    pub fn new(dist: KeyDist, read_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&read_fraction));
+        let zipf = match dist {
+            KeyDist::Zipf { n, theta } => Some(zipf::Zipf::new(n, theta)),
+            KeyDist::Uniform { .. } => None,
+        };
+        MixedStream {
+            rng: StdRng::seed_from_u64(seed),
+            dist,
+            zipf,
+            read_fraction,
+        }
+    }
+
+    fn draw_key(&mut self) -> i64 {
+        match self.dist {
+            KeyDist::Uniform { range } => self.rng.gen_range(-range..=range),
+            KeyDist::Zipf { .. } => {
+                self.zipf.as_mut().expect("zipf sampler").sample(&mut self.rng) as i64
+            }
+        }
+    }
+}
+
+impl OpStream for MixedStream {
+    fn next_op(&mut self) -> Op {
+        let read = self.rng.gen::<f64>() < self.read_fraction;
+        let k = self.draw_key();
+        if read {
+            Op::Contains(k)
+        } else if self.rng.gen::<bool>() {
+            Op::Insert(k)
+        } else {
+            Op::Remove(k)
+        }
+    }
+}
+
+/// Builds `processes` mixed streams with independent RNGs.
+pub fn mixed(processes: usize, dist: KeyDist, read_fraction: f64, seed: u64) -> Vec<MixedStream> {
+    (0..processes)
+        .map(|p| MixedStream::new(dist, read_fraction, seed ^ (0xc2b2_ae35 + p as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_blocks_are_disjoint_and_fresh() {
+        let w = BatchWorkload::generate(4, 1000, 100, 1);
+        let mut seen: HashSet<i64> = w.prefill.iter().copied().collect();
+        assert_eq!(seen.len(), 1000, "prefill keys must be distinct");
+        for block in &w.per_process {
+            assert_eq!(block.len(), 100);
+            for k in block {
+                assert!(seen.insert(*k), "key {k} reused across blocks/prefill");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stream_alternates_phases() {
+        let mut s = BatchStream::new(vec![1, 2]);
+        assert_eq!(s.next_op(), Op::Insert(1));
+        assert_eq!(s.next_op(), Op::Insert(2));
+        assert_eq!(s.next_op(), Op::Remove(1));
+        assert_eq!(s.next_op(), Op::Remove(2));
+        assert_eq!(s.next_op(), Op::Insert(1));
+    }
+
+    #[test]
+    fn batch_stream_every_op_modifies_when_applied() {
+        // Applying the stream to a set: every op must change membership.
+        let mut s = BatchStream::new(vec![10, 20, 30]);
+        let mut set = HashSet::new();
+        for _ in 0..60 {
+            match s.next_op() {
+                Op::Insert(k) => assert!(set.insert(k), "insert of present key {k}"),
+                Op::Remove(k) => assert!(set.remove(&k), "remove of absent key {k}"),
+                Op::Contains(_) => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn random_streams_are_deterministic_and_independent() {
+        let w = RandomWorkload::generate(2, 100, 1000, 7);
+        let mut a1 = w.streams();
+        let mut a2 = w.streams();
+        let ops1: Vec<Op> = (0..50).map(|_| a1[0].next_op()).collect();
+        let ops2: Vec<Op> = (0..50).map(|_| a2[0].next_op()).collect();
+        assert_eq!(ops1, ops2, "same seed, same stream");
+        let other: Vec<Op> = (0..50).map(|_| a1[1].next_op()).collect();
+        assert_ne!(ops1, other, "different processes differ");
+    }
+
+    #[test]
+    fn random_keys_in_range_and_balanced() {
+        let mut s = RandomStream::new(1000, 3);
+        let mut inserts = 0;
+        for _ in 0..10_000 {
+            let op = s.next_op();
+            assert!((-1000..=1000).contains(&op.key()));
+            if matches!(op, Op::Insert(_)) {
+                inserts += 1;
+            }
+        }
+        assert!(
+            (4000..6000).contains(&inserts),
+            "insert/remove should be ~50/50"
+        );
+    }
+
+    #[test]
+    fn random_prefill_matches_paper_shape() {
+        let w = RandomWorkload::generate(1, 10_000, 1_000_000, 5);
+        assert_eq!(w.prefill.len(), 10_000);
+        assert!(w
+            .prefill
+            .iter()
+            .all(|k| (-1_000_000..=1_000_000).contains(k)));
+    }
+
+    #[test]
+    fn mixed_respects_read_fraction() {
+        let mut s = MixedStream::new(KeyDist::Uniform { range: 100 }, 0.8, 11);
+        let reads = (0..10_000)
+            .filter(|_| matches!(s.next_op(), Op::Contains(_)))
+            .count();
+        assert!((7500..8500).contains(&reads), "read fraction off: {reads}");
+    }
+
+    #[test]
+    fn mixed_zipf_prefers_hot_keys() {
+        let mut s = MixedStream::new(
+            KeyDist::Zipf {
+                n: 1000,
+                theta: 0.99,
+            },
+            0.0,
+            13,
+        );
+        let hot = (0..10_000).filter(|_| s.next_op().key() < 10).count();
+        // Under Zipf(0.99) the 10 hottest of 1000 keys draw far more than
+        // the uniform 1% of traffic.
+        assert!(hot > 1500, "zipf skew too weak: {hot}");
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Insert(3).key(), 3);
+        assert!(Op::Insert(3).is_update());
+        assert!(Op::Remove(3).is_update());
+        assert!(!Op::Contains(3).is_update());
+    }
+}

@@ -1,0 +1,140 @@
+//! Zipfian sampler (Gray et al., "Quickly generating billion-record
+//! synthetic databases", SIGMOD 1994 — the YCSB generator).
+//!
+//! Samples ranks in `[0, n)` where rank `r` has probability proportional
+//! to `1 / (r + 1)^theta`. Used by the mixed-workload extension to model
+//! skewed key popularity.
+
+use rand::Rng;
+
+/// Zipfian distribution over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    #[cfg_attr(not(test), allow(dead_code))]
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta` (`0 <= theta <
+    /// 1`; `theta = 0` degenerates to uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // O(n) precomputation; fine for the key-space sizes we use.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Exposes `H_{2,theta}` for tests.
+    #[cfg(test)]
+    fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipf::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let mut z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999]);
+        // Rank 0 should take roughly 1/zetan of the mass: for n=1000,
+        // theta=.99, that's ~12-15%.
+        assert!(counts[0] as f64 / 100_000.0 > 0.08);
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let mut z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (7_000..13_000).contains(&c),
+                "uniform bucket out of tolerance: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeta_accumulates() {
+        let z = Zipf::new(2, 0.5);
+        assert!((z.zeta2() - (1.0 + 1.0 / 2f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

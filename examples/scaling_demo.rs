@@ -1,0 +1,122 @@
+//! The paper's experiment in miniature: measure the path-copying UC
+//! against the sequential treap on the Batch and Random workloads, then
+//! show the model's prediction for the same process counts.
+//!
+//! ```text
+//! cargo run --release --example scaling_demo
+//! ```
+//!
+//! (For the full-scale version with the paper's machine profiles, run
+//! the `paper_tables` binary in `crates/bench`.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use path_copying::pathcopy_sim::{model_speedup, simulate_concurrent, ConcConfig};
+use path_copying::pathcopy_trees::mutable::MutTreapSet;
+use path_copying::pathcopy_workloads::{BatchWorkload, Op, OpStream};
+use path_copying::prelude::TreapSet;
+
+const PREFILL: usize = 200_000;
+const KEYS_PER_PROC: usize = 20_000;
+const TRIAL: Duration = Duration::from_millis(300);
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!("hardware threads: {cores}\n");
+
+    // --- Real measurement (Batch workload) -----------------------------
+    let workload = BatchWorkload::generate(cores.max(2), PREFILL, KEYS_PER_PROC, 42);
+
+    // Sequential baseline: classical mutable treap.
+    let mut seq: MutTreapSet<i64> = workload.prefill.iter().copied().collect();
+    let mut stream = workload.streams().remove(0);
+    let started = Instant::now();
+    let mut seq_ops = 0u64;
+    while started.elapsed() < TRIAL {
+        for _ in 0..64 {
+            match stream.next_op() {
+                Op::Insert(k) => {
+                    seq.insert(k);
+                }
+                Op::Remove(k) => {
+                    seq.remove(&k);
+                }
+                Op::Contains(_) => {}
+            }
+            seq_ops += 1;
+        }
+    }
+    let seq_rate = seq_ops as f64 / started.elapsed().as_secs_f64();
+    println!("sequential treap: {seq_rate:>10.0} ops/s");
+
+    // UC at increasing thread counts.
+    let mut prefilled = path_copying::pathcopy_trees::TreapSet::empty();
+    for &k in &workload.prefill {
+        if let Some(next) = prefilled.insert(k) {
+            prefilled = next;
+        }
+    }
+    for p in [1, 2, cores.max(2)] {
+        let set = TreapSet::from_version(prefilled.clone());
+        let stop = AtomicBool::new(false);
+        let mut streams = workload.streams();
+        streams.truncate(p);
+        let mut total = 0u64;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for mut st in streams {
+                let set = &set;
+                let stop = &stop;
+                handles.push(s.spawn(move || {
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match st.next_op() {
+                            Op::Insert(k) => {
+                                set.insert(k);
+                            }
+                            Op::Remove(k) => {
+                                set.remove(&k);
+                            }
+                            Op::Contains(_) => {}
+                        }
+                        ops += 1;
+                    }
+                    ops
+                }));
+            }
+            std::thread::sleep(TRIAL);
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                total += h.join().unwrap();
+            }
+        });
+        let rate = total as f64 / TRIAL.as_secs_f64();
+        let stats = set.stats().snapshot();
+        println!(
+            "UC {p}p (batch):  {rate:>10.0} ops/s  speedup {:.2}x  attempts/op {:.2}",
+            rate / seq_rate,
+            stats.mean_attempts()
+        );
+    }
+
+    // --- Model prediction at the paper's scale --------------------------
+    println!("\nAppendix-A model at the paper's process counts (N=2^20, M=2^15, R=100):");
+    let (n, m, r) = (1u64 << 20, 1usize << 15, 100u64);
+    for p in [1usize, 4, 10, 17] {
+        let sim = simulate_concurrent(ConcConfig {
+            ops: 4_000,
+            warmup: 1_000,
+            ..ConcConfig::new(1 << 14, p, r) // smaller N for a fast demo
+        });
+        println!(
+            "  P={p:>2}: closed-form speedup {:.2}x, simulated retries/op {:.2}, \
+             uncached-on-retry {:.2}",
+            model_speedup(p as f64, n as f64, m as f64, r as f64),
+            sim.attempts_per_op,
+            sim.retry_uncached_mean
+        );
+    }
+    println!("\n(The real effect needs >= P hardware threads and a tree larger than cache;");
+    println!(" see EXPERIMENTS.md for the full reproduction and its caveats.)");
+}

@@ -1,0 +1,68 @@
+//! # path-copying
+//!
+//! Reproduction of *Unexpected Scaling in Path Copying Trees* (Kokorin,
+//! Fedorov, Brown, Aksenov — PPoPP 2023, arXiv:2212.00521): a lock-free
+//! universal construction over persistent path-copying data structures,
+//! the persistent structures themselves, the paper's private-cache
+//! analytical model as an executable simulator, and a benchmark harness
+//! regenerating every table and figure.
+//!
+//! This crate re-exports the workspace's public API; see the member
+//! crates for details:
+//!
+//! * [`pathcopy_core`] — `VersionCell` (the `Root_Ptr` register),
+//!   `PathCopyUc` (the retrying load/copy/CAS loop), lock baselines.
+//! * [`pathcopy_trees`] — persistent treap, AVL, red–black tree,
+//!   external BST, list, queue, vector; sharing measurements.
+//! * [`pathcopy_concurrent`] — ready-made lock-free sets/maps/sequences.
+//! * [`pathcopy_sim`] — the Appendix-A model: private LRU caches,
+//!   synchronous processes, closed-form speedup.
+//! * [`pathcopy_workloads`] — the §4 Batch/Random workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use path_copying::prelude::*;
+//!
+//! let set = TreapSet::new();
+//! std::thread::scope(|s| {
+//!     for t in 0..4i64 {
+//!         let set = &set;
+//!         s.spawn(move || {
+//!             for i in 0..1000 {
+//!                 set.insert(t * 1000 + i); // lock-free, linearizable
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(set.len(), 4000);
+//!
+//! // O(1) immutable snapshot: reads never block writers.
+//! let snap = set.snapshot();
+//! set.remove(&0);
+//! assert!(snap.contains(&0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pathcopy_concurrent;
+pub use pathcopy_core;
+pub use pathcopy_sim;
+pub use pathcopy_trees;
+pub use pathcopy_workloads;
+
+/// One-line import for the common API.
+pub mod prelude {
+    pub use pathcopy_concurrent::{
+        AvlSet as ConcurrentAvlSet, ExternalBstSet as ConcurrentExternalBstSet, LockedTreapSet,
+        Queue, RbSet as ConcurrentRbSet, RwLockedTreapSet, Stack, TreapMap, TreapSet,
+    };
+    pub use pathcopy_core::{
+        BackoffPolicy, MutexUc, PathCopyUc, RwLockUc, SeqUc, Update, VersionCell,
+    };
+    pub use pathcopy_trees::{
+        avl::AvlMap, avl::AvlSet, list::PStack, pvec::PVec, queue::PQueue, rbtree::RbMap,
+        rbtree::RbSet, ExternalBstSet, TreapMap as PersistentTreapMap,
+        TreapSet as PersistentTreapSet,
+    };
+}

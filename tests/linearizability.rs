@@ -1,0 +1,208 @@
+//! Linearizability checking for the universal construction.
+//!
+//! The UC's linearization order is the order of successful root CASes.
+//! We make that order observable by embedding a sequence number in the
+//! versioned state; every thread logs `(seq, op, result)` for its
+//! committed updates, and the checker replays the merged log in `seq`
+//! order against `BTreeSet`, requiring every logged result to match.
+//! This is a *complete* check for update operations: any lost update,
+//! duplicated apply, or out-of-order commit fails the replay.
+
+use std::sync::Mutex;
+
+use path_copying::pathcopy_trees::TreapSet;
+use path_copying::prelude::{PathCopyUc, Update};
+
+/// Versioned state: the set plus a commit sequence number.
+struct Versioned {
+    set: TreapSet<i64>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LoggedOp {
+    Insert(i64),
+    Remove(i64),
+}
+
+fn run_logged_workload(threads: i64, ops_per_thread: i64) -> (Vec<(u64, LoggedOp, bool)>, Vec<i64>) {
+    let uc = PathCopyUc::new(Versioned {
+        set: TreapSet::empty(),
+        seq: 0,
+    });
+    let log: Mutex<Vec<(u64, LoggedOp, bool)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let uc = &uc;
+            let log = &log;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(ops_per_thread as usize);
+                let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..ops_per_thread {
+                    x = path_copying::pathcopy_trees::hash::splitmix64(x);
+                    let key = (x % 128) as i64;
+                    let op = if x & (1 << 40) == 0 {
+                        LoggedOp::Insert(key)
+                    } else {
+                        LoggedOp::Remove(key)
+                    };
+                    let (seq, changed) = uc.update(|state| {
+                        let outcome = match op {
+                            LoggedOp::Insert(k) => state.set.insert(k),
+                            LoggedOp::Remove(k) => state.set.remove(&k),
+                        };
+                        match outcome {
+                            Some(next) => {
+                                let seq = state.seq + 1;
+                                Update::Replace(
+                                    Versioned { set: next, seq },
+                                    (seq, true),
+                                )
+                            }
+                            // No-ops don't commit a version; they
+                            // linearize at their (atomic) read. We log
+                            // them with the seq they observed.
+                            None => Update::Keep((state.seq, false)),
+                        }
+                    });
+                    local.push((seq, op, changed));
+                }
+                log.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let final_contents: Vec<i64> = uc.read(|s| s.set.iter().copied().collect());
+    (log.into_inner().unwrap(), final_contents)
+}
+
+#[test]
+fn committed_updates_replay_in_cas_order() {
+    let (log, final_contents) = run_logged_workload(4, 3_000);
+
+    // Replay committed updates in seq order against the reference model.
+    let mut committed: Vec<(u64, LoggedOp)> = log
+        .iter()
+        .filter(|(_, _, changed)| *changed)
+        .map(|(seq, op, _)| (*seq, *op))
+        .collect();
+    committed.sort_by_key(|(seq, _)| *seq);
+
+    // Sequence numbers must be exactly 1..=n: every CAS commit is unique
+    // and none is lost.
+    for (i, (seq, _)) in committed.iter().enumerate() {
+        assert_eq!(*seq, i as u64 + 1, "commit sequence has gaps or duplicates");
+    }
+
+    let mut reference = std::collections::BTreeSet::new();
+    for (seq, op) in &committed {
+        let changed = match op {
+            LoggedOp::Insert(k) => reference.insert(*k),
+            LoggedOp::Remove(k) => reference.remove(k),
+        };
+        assert!(
+            changed,
+            "op {op:?} at seq {seq} was logged as changing the set but the replay disagrees"
+        );
+    }
+
+    // The final structure must equal the replayed model exactly.
+    let expect: Vec<i64> = reference.into_iter().collect();
+    assert_eq!(final_contents, expect, "final state diverges from replay");
+}
+
+#[test]
+fn noop_results_are_consistent_with_observed_versions() {
+    let (log, _) = run_logged_workload(4, 2_000);
+
+    // Rebuild the set contents at every committed seq, then check each
+    // no-op against the version it reported observing.
+    let mut committed: Vec<(u64, LoggedOp)> = log
+        .iter()
+        .filter(|(_, _, changed)| *changed)
+        .map(|(seq, op, _)| (*seq, *op))
+        .collect();
+    committed.sort_by_key(|(seq, _)| *seq);
+
+    let mut at_version: Vec<std::collections::BTreeSet<i64>> = Vec::with_capacity(committed.len() + 1);
+    at_version.push(std::collections::BTreeSet::new());
+    for (_, op) in &committed {
+        let mut next = at_version.last().unwrap().clone();
+        match op {
+            LoggedOp::Insert(k) => {
+                next.insert(*k);
+            }
+            LoggedOp::Remove(k) => {
+                next.remove(k);
+            }
+        }
+        at_version.push(next);
+    }
+
+    for (seq, op, changed) in &log {
+        if *changed {
+            continue;
+        }
+        let state = &at_version[*seq as usize];
+        match op {
+            LoggedOp::Insert(k) => assert!(
+                state.contains(k),
+                "no-op insert({k}) at version {seq}, but the key was absent there"
+            ),
+            LoggedOp::Remove(k) => assert!(
+                !state.contains(k),
+                "no-op remove({k}) at version {seq}, but the key was present there"
+            ),
+        }
+    }
+}
+
+#[test]
+fn disjoint_batch_runs_have_exact_counts() {
+    // The Batch workload invariant end-to-end: disjoint keys, every op
+    // must succeed, final set must be exactly the inserted-but-not-removed
+    // keys.
+    let uc = PathCopyUc::new(Versioned {
+        set: TreapSet::empty(),
+        seq: 0,
+    });
+    const THREADS: i64 = 4;
+    const PER: i64 = 800;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let uc = &uc;
+            scope.spawn(move || {
+                let base = t * PER;
+                for i in 0..PER {
+                    let k = base + i;
+                    let (_, changed) = uc.update(|state| match state.set.insert(k) {
+                        Some(next) => {
+                            let seq = state.seq + 1;
+                            Update::Replace(Versioned { set: next, seq }, (seq, true))
+                        }
+                        None => Update::Keep((state.seq, false)),
+                    });
+                    assert!(changed, "disjoint insert({k}) must always succeed");
+                }
+                // Remove the odd half.
+                for i in (1..PER).step_by(2) {
+                    let k = base + i;
+                    let (_, changed) = uc.update(|state| match state.set.remove(&k) {
+                        Some(next) => {
+                            let seq = state.seq + 1;
+                            Update::Replace(Versioned { set: next, seq }, (seq, true))
+                        }
+                        None => Update::Keep((state.seq, false)),
+                    });
+                    assert!(changed, "disjoint remove({k}) must always succeed");
+                }
+            });
+        }
+    });
+    let snapshot = uc.snapshot();
+    assert_eq!(snapshot.set.len() as i64, THREADS * PER / 2);
+    assert_eq!(snapshot.seq, (THREADS * PER + THREADS * PER / 2) as u64);
+    snapshot.set.check_invariants();
+    assert!(snapshot.set.iter().all(|k| k % 2 == 0));
+}

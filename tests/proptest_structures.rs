@@ -1,0 +1,293 @@
+//! Property-based tests: every persistent structure must behave exactly
+//! like its std reference model under arbitrary operation sequences, must
+//! keep old versions intact (persistence), and must respect its
+//! structural invariants and the path-copying sharing bound.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use proptest::prelude::*;
+
+use path_copying::pathcopy_trees::{
+    avl::AvlMap, list::PStack, pvec::PVec, queue::PQueue, rbtree::RbMap, sharing, ExternalBstSet,
+    TreapMap,
+};
+
+/// An operation on a keyed map/set.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(i16, i16),
+    Remove(i16),
+    Query(i16),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<i16>(), any::<i16>()).prop_map(|(k, v)| MapOp::Insert(k % 64, v)),
+            any::<i16>().prop_map(|k| MapOp::Remove(k % 64)),
+            any::<i16>().prop_map(|k| MapOp::Query(k % 64)),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn treap_matches_btreemap(ops in map_ops()) {
+        let mut reference = BTreeMap::new();
+        let mut m: TreapMap<i16, i16> = TreapMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let (nm, old) = m.insert(k, v);
+                    prop_assert_eq!(old, reference.insert(k, v));
+                    m = nm;
+                }
+                MapOp::Remove(k) => match (m.remove(&k), reference.remove(&k)) {
+                    (None, None) => {}
+                    (Some((nm, got)), Some(want)) => {
+                        prop_assert_eq!(got, want);
+                        m = nm;
+                    }
+                    other => prop_assert!(false, "remove mismatch: {:?}", other.1),
+                },
+                MapOp::Query(k) => {
+                    prop_assert_eq!(m.get(&k), reference.get(&k));
+                }
+            }
+        }
+        m.check_invariants();
+        prop_assert!(m.iter().map(|(k, v)| (*k, *v)).eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn avl_matches_btreemap(ops in map_ops()) {
+        let mut reference = BTreeMap::new();
+        let mut m: AvlMap<i16, i16> = AvlMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let (nm, old) = m.insert(k, v);
+                    prop_assert_eq!(old, reference.insert(k, v));
+                    m = nm;
+                }
+                MapOp::Remove(k) => match (m.remove(&k), reference.remove(&k)) {
+                    (None, None) => {}
+                    (Some((nm, got)), Some(want)) => {
+                        prop_assert_eq!(got, want);
+                        m = nm;
+                    }
+                    other => prop_assert!(false, "remove mismatch: {:?}", other.1),
+                },
+                MapOp::Query(k) => {
+                    prop_assert_eq!(m.get(&k), reference.get(&k));
+                }
+            }
+        }
+        m.check_invariants();
+        prop_assert!(m.iter().map(|(k, v)| (*k, *v)).eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn rbtree_matches_btreemap(ops in map_ops()) {
+        let mut reference = BTreeMap::new();
+        let mut m: RbMap<i16, i16> = RbMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let (nm, old) = m.insert(k, v);
+                    prop_assert_eq!(old, reference.insert(k, v));
+                    m = nm;
+                }
+                MapOp::Remove(k) => match (m.remove(&k), reference.remove(&k)) {
+                    (None, None) => {}
+                    (Some((nm, got)), Some(want)) => {
+                        prop_assert_eq!(got, want);
+                        m = nm;
+                    }
+                    other => prop_assert!(false, "remove mismatch: {:?}", other.1),
+                },
+                MapOp::Query(k) => {
+                    prop_assert_eq!(m.get(&k), reference.get(&k));
+                }
+            }
+        }
+        m.check_invariants();
+        prop_assert!(m.iter().map(|(k, v)| (*k, *v)).eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn external_bst_matches_btreeset(ops in map_ops()) {
+        let mut reference = BTreeSet::new();
+        let mut s: ExternalBstSet<i16> = ExternalBstSet::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, _) => match s.insert(k) {
+                    Some(next) => {
+                        prop_assert!(reference.insert(k));
+                        s = next;
+                    }
+                    None => prop_assert!(!reference.insert(k)),
+                },
+                MapOp::Remove(k) => match s.remove(&k) {
+                    Some(next) => {
+                        prop_assert!(reference.remove(&k));
+                        s = next;
+                    }
+                    None => prop_assert!(!reference.remove(&k)),
+                },
+                MapOp::Query(k) => prop_assert_eq!(s.contains(&k), reference.contains(&k)),
+            }
+        }
+        s.check_invariants();
+        prop_assert!(s.iter().copied().eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn persistence_snapshot_is_immutable(ops in map_ops(), cut in 0usize..120) {
+        // Apply `ops`, snapshotting after `cut` operations; the snapshot
+        // must be bit-for-bit identical afterwards.
+        let mut m: TreapMap<i16, i16> = TreapMap::new();
+        let mut snapshot = None;
+        let mut snapshot_contents = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i == cut {
+                snapshot_contents = m.iter().map(|(k, v)| (*k, *v)).collect();
+                snapshot = Some(m.clone());
+            }
+            match op {
+                MapOp::Insert(k, v) => m = m.insert(*k, *v).0,
+                MapOp::Remove(k) => {
+                    if let Some((nm, _)) = m.remove(k) {
+                        m = nm;
+                    }
+                }
+                MapOp::Query(_) => {}
+            }
+        }
+        if let Some(snap) = snapshot {
+            prop_assert!(snap.iter().map(|(k, v)| (*k, *v)).eq(snapshot_contents.into_iter()));
+        }
+    }
+
+    #[test]
+    fn sharing_bound_holds_per_update(keys in prop::collection::btree_set(any::<i16>(), 16..200), new_key in any::<i32>()) {
+        // One insert must allocate O(path), never O(n).
+        let m: TreapMap<i32, ()> = keys.iter().map(|&k| (k as i32, ())).collect();
+        let height = m.height();
+        let (m2, _) = m.insert(i32::from(new_key), ());
+        let stats = sharing::sharing_stats(&m, &m2);
+        prop_assert!(
+            stats.fresh <= 2 * height + 2,
+            "fresh {} > bound {} (n = {})",
+            stats.fresh,
+            2 * height + 2,
+            m.len()
+        );
+    }
+
+    #[test]
+    fn pvec_matches_vec(ops in prop::collection::vec(any::<(u8, u16)>(), 0..150)) {
+        let mut reference: Vec<u16> = Vec::new();
+        let mut v: PVec<u16> = PVec::new();
+        for (sel, val) in ops {
+            match sel % 3 {
+                0 => {
+                    reference.push(val);
+                    v = v.push(val);
+                }
+                1 if !reference.is_empty() => {
+                    let i = val as usize % reference.len();
+                    reference[i] = val;
+                    v = v.set(i, val).unwrap();
+                }
+                _ => {
+                    let expected = reference.pop();
+                    match v.pop() {
+                        Some((nv, got)) => {
+                            prop_assert_eq!(Some(got), expected);
+                            v = nv;
+                        }
+                        None => prop_assert_eq!(expected, None),
+                    }
+                }
+            }
+            prop_assert_eq!(v.len(), reference.len());
+        }
+        prop_assert!(v.iter().copied().eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn pqueue_matches_vecdeque(ops in prop::collection::vec(any::<(bool, u16)>(), 0..150)) {
+        let mut reference: VecDeque<u16> = VecDeque::new();
+        let mut q: PQueue<u16> = PQueue::new();
+        for (push, val) in ops {
+            if push {
+                reference.push_back(val);
+                q = q.push_back(val);
+            } else {
+                let expected = reference.pop_front();
+                match q.pop_front() {
+                    Some((nq, got)) => {
+                        prop_assert_eq!(Some(got), expected);
+                        q = nq;
+                    }
+                    None => prop_assert_eq!(expected, None),
+                }
+            }
+        }
+        prop_assert_eq!(q.to_vec(), Vec::from(reference));
+    }
+
+    #[test]
+    fn pstack_matches_vec(ops in prop::collection::vec(any::<(bool, u16)>(), 0..150)) {
+        let mut reference: Vec<u16> = Vec::new();
+        let mut s: PStack<u16> = PStack::new();
+        for (push, val) in ops {
+            if push {
+                reference.push(val);
+                s = s.push(val);
+            } else {
+                let expected = reference.pop();
+                match s.pop() {
+                    Some((ns, got)) => {
+                        prop_assert_eq!(Some(got), expected);
+                        s = ns;
+                    }
+                    None => prop_assert_eq!(expected, None),
+                }
+            }
+        }
+        let got: Vec<u16> = s.iter().copied().collect();
+        let want: Vec<u16> = reference.into_iter().rev().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn treap_rank_select_consistent(keys in prop::collection::btree_set(any::<i16>(), 0..100)) {
+        let m: TreapMap<i16, ()> = keys.iter().map(|&k| (k, ())).collect();
+        for (rank, &k) in keys.iter().enumerate() {
+            prop_assert_eq!(m.select(rank).map(|(key, _)| *key), Some(k));
+            prop_assert_eq!(m.rank(&k), rank);
+        }
+        prop_assert_eq!(m.select(keys.len()), None);
+    }
+
+    #[test]
+    fn treap_split_join_roundtrip(keys in prop::collection::btree_set(any::<i16>(), 0..100), pivot in any::<i16>()) {
+        let m: TreapMap<i16, i16> = keys.iter().map(|&k| (k, k)).collect();
+        let (l, mid, r) = m.split(&pivot);
+        l.check_invariants();
+        r.check_invariants();
+        prop_assert_eq!(mid.is_some(), keys.contains(&pivot));
+        prop_assert!(l.keys().all(|k| *k < pivot));
+        prop_assert!(r.keys().all(|k| *k > pivot));
+        let joined = l.join(&r);
+        joined.check_invariants();
+        let mut expect = keys.clone();
+        expect.remove(&pivot);
+        prop_assert!(joined.keys().copied().eq(expect.into_iter()));
+    }
+}
