@@ -113,5 +113,10 @@ fn bench_remove_insert_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_lookups, bench_remove_insert_cycle);
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_lookups,
+    bench_remove_insert_cycle
+);
 criterion_main!(benches);

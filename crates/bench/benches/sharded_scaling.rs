@@ -1,0 +1,155 @@
+//! Scaling of the sharded UC map versus the paper's single-root
+//! construction on a write-only workload.
+//!
+//! The paper's model says the single `Root_Ptr` CAS loop stops scaling
+//! once update work no longer dominates; hash-sharding the register is
+//! the first step past that ceiling. This bench measures update
+//! throughput of 1/4/16-shard `ShardedTreapMap`s against the single-root
+//! `TreapMap` baseline at 1/2/4/8 threads. Expectation: at 8 threads the
+//! 16-shard map clearly beats the single root — by reduced CAS-retry
+//! waste alone on one core, and by real parallelism on many.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcopy_concurrent::{ShardedTreapMap, TreapMap};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const KEY_RANGE: i64 = 1 << 16;
+const OPS_PER_THREAD_PER_ITER: u64 = 2_000;
+
+/// Per-thread key stream: the workspace's seedable xoshiro generator,
+/// cheap enough to not be the bottleneck being measured.
+fn next_key(rng: &mut SmallRng) -> i64 {
+    rng.gen_range(0..KEY_RANGE)
+}
+
+/// Runs `threads` workers, each performing alternating inserts/removes of
+/// random keys; returns the wall time of the update loops only. Workers
+/// rendezvous on a barrier before the clock starts, so thread spawn cost
+/// (which grows with the thread count) never pollutes the per-op numbers.
+fn run_updates<M: Sync>(map: &M, threads: usize, apply: impl Fn(&M, i64, bool) + Sync) -> Duration {
+    let seed = AtomicU64::new(1);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let map = &map;
+                let apply = &apply;
+                let barrier = &barrier;
+                let mut rng = SmallRng::seed_from_u64(seed.fetch_add(1, Relaxed));
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..OPS_PER_THREAD_PER_ITER {
+                        let k = next_key(&mut rng);
+                        apply(map, k, i % 2 == 0);
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for w in workers {
+            w.join().expect("bench worker panicked");
+        }
+        start.elapsed()
+    })
+}
+
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("single_root", threads), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let map: TreapMap<i64, u64> = TreapMap::new();
+                    let elapsed = run_updates(&map, threads, |m, k, ins| {
+                        if ins {
+                            m.insert(k, k as u64);
+                        } else {
+                            m.remove(&k);
+                        }
+                    });
+                    total += elapsed / (threads as u32 * OPS_PER_THREAD_PER_ITER as u32);
+                }
+                total
+            })
+        });
+        for shards in [1usize, 4, 16] {
+            group.bench_function(
+                BenchmarkId::new(format!("sharded_{shards}"), threads),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let map: ShardedTreapMap<i64, u64> =
+                                ShardedTreapMap::with_shards(shards);
+                            let elapsed = run_updates(&map, threads, |m, k, ins| {
+                                if ins {
+                                    m.insert(k, k as u64);
+                                } else {
+                                    m.remove(&k);
+                                }
+                            });
+                            total += elapsed / (threads as u32 * OPS_PER_THREAD_PER_ITER as u32);
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_snapshot_all(c: &mut Criterion) {
+    // The cost of the coherent cut while 4 writers churn: the price of
+    // consistency across shards.
+    let mut group = c.benchmark_group("sharded_snapshot_all");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1000));
+    group.warm_up_time(Duration::from_millis(200));
+    for shards in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("under_churn", shards), |b| {
+            b.iter_custom(|iters| {
+                let map: ShardedTreapMap<i64, u64> = ShardedTreapMap::with_shards(shards);
+                for k in 0..10_000 {
+                    map.insert(k, 0);
+                }
+                let stop = std::sync::atomic::AtomicBool::new(false);
+                let mut elapsed = Duration::ZERO;
+                std::thread::scope(|s| {
+                    for t in 0..4u64 {
+                        let map = &map;
+                        let stop = &stop;
+                        let mut rng = SmallRng::seed_from_u64(t);
+                        s.spawn(move || {
+                            while !stop.load(Relaxed) {
+                                let k = next_key(&mut rng);
+                                map.insert(k, k as u64);
+                            }
+                        });
+                    }
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        criterion::black_box(map.snapshot_all());
+                    }
+                    elapsed = start.elapsed();
+                    stop.store(true, Relaxed);
+                });
+                elapsed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scaling, bench_snapshot_all);
+criterion_main!(benches);

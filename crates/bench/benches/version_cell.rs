@@ -8,9 +8,7 @@ use pathcopy_core::VersionCell;
 
 fn bench_load(c: &mut Criterion) {
     let cell = VersionCell::new(0u64);
-    c.bench_function("version_cell/load", |b| {
-        b.iter(|| black_box(*cell.load()))
-    });
+    c.bench_function("version_cell/load", |b| b.iter(|| black_box(*cell.load())));
 }
 
 fn bench_uncontended_cas(c: &mut Criterion) {
@@ -53,5 +51,10 @@ fn bench_contended_cas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_load, bench_uncontended_cas, bench_contended_cas);
+criterion_group!(
+    benches,
+    bench_load,
+    bench_uncontended_cas,
+    bench_contended_cas
+);
 criterion_main!(benches);

@@ -110,15 +110,16 @@ fn main() {
     for (k, bucket) in hist.iter().enumerate().take(12) {
         let c = bucket.load(Relaxed);
         if c > 0 || k <= 4 {
-            println!(
-                "{k:>4} {c:>12} {:>10.4}",
-                c as f64 / total_retries as f64
-            );
+            println!("{k:>4} {c:>12} {:>10.4}", c as f64 / total_retries as f64);
         }
     }
     let tail: u64 = hist.iter().skip(12).map(|b| b.load(Relaxed)).sum();
     if tail > 0 {
-        println!("{:>4} {tail:>12} {:>10.4}", ">11", tail as f64 / total_retries as f64);
+        println!(
+            "{:>4} {tail:>12} {:>10.4}",
+            ">11",
+            tail as f64 / total_retries as f64
+        );
     }
     println!(
         "\nmean uncached per retry = {mean:.3}  (paper's lemma: <= 2 per missed commit;\n\

@@ -60,9 +60,7 @@ impl Args {
     {
         match self.values.get(key) {
             None => default,
-            Some(raw) => raw
-                .parse()
-                .unwrap_or_else(|e| panic!("--{key} {raw}: {e}")),
+            Some(raw) => raw.parse().unwrap_or_else(|e| panic!("--{key} {raw}: {e}")),
         }
     }
 

@@ -99,8 +99,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..300 {
                         let k = t * 300 + i;
-                        let inserted = state
-                            .update(|set, log| set.insert(k).map(|ns| (ns, log.push(k))));
+                        let inserted =
+                            state.update(|set, log| set.insert(k).map(|ns| (ns, log.push(k))));
                         assert!(inserted);
                     }
                 });
@@ -153,14 +153,18 @@ mod tests {
             let accounts = &accounts;
             s.spawn(move || {
                 for _ in 0..500 {
-                    let total = accounts
-                        .read(|a, b| a.get("alice").copied().unwrap() + b.get("bob").copied().unwrap());
+                    let total = accounts.read(|a, b| {
+                        a.get("alice").copied().unwrap() + b.get("bob").copied().unwrap()
+                    });
                     assert_eq!(total, 200, "money created or destroyed");
                 }
             });
         });
         let (a, b) = &*accounts.snapshot();
-        assert_eq!(a.get("alice").copied().unwrap() + b.get("bob").copied().unwrap(), 200);
+        assert_eq!(
+            a.get("alice").copied().unwrap() + b.get("bob").copied().unwrap(),
+            200
+        );
     }
 
     #[test]

@@ -52,10 +52,11 @@ impl<K: Ord + Clone + Send + Sync> ExternalBstSet<K> {
 
     /// [`insert`](Self::insert) with attempt-count instrumentation.
     pub fn insert_reported(&self, key: K) -> UpdateReport<bool> {
-        self.uc.update_reported(move |set| match set.insert(key.clone()) {
-            Some(next) => Update::Replace(next, true),
-            None => Update::Keep(false),
-        })
+        self.uc
+            .update_reported(move |set| match set.insert(key.clone()) {
+                Some(next) => Update::Replace(next, true),
+                None => Update::Keep(false),
+            })
     }
 
     /// Removes `key`; `true` if the set changed.

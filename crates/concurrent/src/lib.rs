@@ -15,6 +15,7 @@ pub mod composite;
 pub mod ebst_set;
 pub mod locked;
 pub mod more;
+pub mod sharded;
 pub mod treap_map;
 pub mod treap_set;
 
@@ -22,5 +23,6 @@ pub use composite::Composite;
 pub use ebst_set::ExternalBstSet;
 pub use locked::{LockedTreapSet, RwLockedTreapSet};
 pub use more::{AvlSet, Queue, RbSet, Stack};
+pub use sharded::{ShardedSnapshot, ShardedTreapMap};
 pub use treap_map::TreapMap;
 pub use treap_set::TreapSet;

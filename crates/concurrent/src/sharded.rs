@@ -1,0 +1,484 @@
+//! Sharded universal construction: hash-partitioning keys across many
+//! independent `Root_Ptr` registers.
+//!
+//! The paper's construction serializes every successful update through a
+//! single [`VersionCell`](pathcopy_core::VersionCell) CAS. Its own model
+//! (§3) shows that this stops scaling once the per-update path-copying
+//! work no longer dominates the root CAS — the single register becomes
+//! the ceiling. [`ShardedTreapMap`] pushes past that ceiling the way
+//! production stores do: keys are hash-partitioned across `N` independent
+//! [`PathCopyUc`] roots, so updates to different shards never contend,
+//! while every per-shard operation keeps the UC's lock-freedom and
+//! linearizability.
+//!
+//! What is preserved and what is traded:
+//!
+//! * **Per-key operations** (`insert`, `remove`, `get`, `compute`, …)
+//!   remain linearizable: a key lives in exactly one shard, and that
+//!   shard is a plain path-copying UC.
+//! * **Per-shard snapshots** ([`ShardedTreapMap::snapshot_shard`]) remain
+//!   O(1) and wait-free.
+//! * **Whole-map snapshots** ([`ShardedTreapMap::snapshot_all`]) need a
+//!   validated double scan over the shard roots: the scan retries until
+//!   it observes every root unchanged across two passes, which proves a
+//!   moment existed between the passes when all recorded versions were
+//!   simultaneously current (versions are never re-installed, so pointer
+//!   equality across both passes rules out intermediate changes). This
+//!   is lock-free but no longer wait-free — the price of a consistent
+//!   cut across `N` registers without a global serialization point.
+//! * **Ordered whole-map iteration** requires merging shards
+//!   ([`ShardedSnapshot::to_sorted_vec`]); hash partitioning destroys
+//!   cross-shard key order.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, Update};
+use pathcopy_trees::hash::splitmix64;
+use pathcopy_trees::TreapMap as PTreapMap;
+
+/// A lock-free concurrent ordered-per-shard map: keys are hash-partitioned
+/// across `N` independent path-copying universal constructions.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_concurrent::ShardedTreapMap;
+///
+/// let m = ShardedTreapMap::with_shards(8);
+/// m.insert(1, "one");
+/// m.insert(2, "two");
+/// assert_eq!(m.get(&1), Some("one"));
+///
+/// // A coherent cut across all shards:
+/// let snap = m.snapshot_all();
+/// m.remove(&2);
+/// assert_eq!(snap.get(&2), Some(&"two"));
+/// assert_eq!(snap.len(), 2);
+/// ```
+pub struct ShardedTreapMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    mask: u64,
+}
+
+/// One shard: a cache-padded single-root UC, so neighbouring `Root_Ptr`
+/// registers never share a line (the whole point is independent CAS
+/// targets).
+type Shard<K, V> = CachePadded<PathCopyUc<PTreapMap<K, V>>>;
+
+/// Salt folded into the shard hash so shard choice is decorrelated from
+/// the treap priority (which is also derived from the key's hash).
+const SHARD_SALT: u64 = 0x9e6c_63d0_876a_46b1;
+
+fn shard_index<K: Hash + ?Sized>(key: &K, mask: u64) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (splitmix64(h.finish() ^ SHARD_SALT) & mask) as usize
+}
+
+impl<K, V> Default for ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// An 8-shard map; see [`ShardedTreapMap::with_shards`] to choose.
+    fn default() -> Self {
+        Self::with_shards(8)
+    }
+}
+
+impl<K, V> ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Creates an empty map with `shards` partitions (rounded up to a
+    /// power of two, minimum 1). With 1 shard this is exactly the paper's
+    /// single-root construction.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_backoff(shards, BackoffPolicy::None)
+    }
+
+    /// [`with_shards`](Self::with_shards) with an explicit per-shard CAS
+    /// retry backoff policy.
+    pub fn with_shards_and_backoff(shards: usize, backoff: BackoffPolicy) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| CachePadded::new(PathCopyUc::with_backoff(PTreapMap::new(), backoff)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedTreapMap {
+            shards,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for<Q: Hash + ?Sized>(&self, key: &Q) -> &PathCopyUc<PTreapMap<K, V>> {
+        &self.shards[shard_index(key, self.mask)]
+    }
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    /// Lock-free; contends only with updates that hash to the same shard.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard_for(&key).update(move |map| {
+            let (next, old) = map.insert(key.clone(), value.clone());
+            Update::Replace(next, old)
+        })
+    }
+
+    /// Inserts only if `key` is absent; returns `true` on success. When
+    /// the key exists, no CAS is performed.
+    pub fn insert_if_absent(&self, key: K, value: V) -> bool {
+        self.shard_for(&key).update(move |map| {
+            match map.insert_if_absent(key.clone(), value.clone()) {
+                Some(next) => Update::Replace(next, true),
+                None => Update::Keep(false),
+            }
+        })
+    }
+
+    /// Removes `key`, returning its value if present (no CAS when absent).
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard_for(key).update(|map| match map.remove(key) {
+            Some((next, v)) => Update::Replace(next, Some(v)),
+            None => Update::Keep(None),
+        })
+    }
+
+    /// Atomically applies `f` to the value at `key` (or `None` if absent)
+    /// and stores its result (`None` removes the key). Returns the
+    /// previous value. Linearized at the owning shard's root CAS.
+    ///
+    /// Like [`PathCopyUc::update`], `f` may run several times (once per
+    /// CAS attempt under contention), so it must be a pure function of
+    /// the value it is given — side effects would fire once per attempt.
+    pub fn compute(&self, key: &K, f: impl Fn(Option<&V>) -> Option<V>) -> Option<V> {
+        self.shard_for(key).update(|map| {
+            let old = map.get(key).cloned();
+            match f(old.as_ref()) {
+                Some(new_v) => {
+                    let (next, prev) = map.insert(key.clone(), new_v);
+                    Update::Replace(next, prev)
+                }
+                None => match map.remove(key) {
+                    Some((next, prev)) => Update::Replace(next, Some(prev)),
+                    None => Update::Keep(None),
+                },
+            }
+        })
+    }
+
+    /// Looks up `key`, cloning the value. Wait-free.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard_for(key).read(|map| map.get(key).cloned())
+    }
+
+    /// `true` if `key` is present. Wait-free.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard_for(key).read(|map| map.contains_key(key))
+    }
+
+    /// Total number of entries, summed shard by shard. Each per-shard
+    /// count is exact; under concurrent updates the sum is a weakly
+    /// consistent estimate (like `ConcurrentHashMap::size`). Use
+    /// [`snapshot_all`](Self::snapshot_all)`.len()` for an exact count.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read(|m| m.len())).sum()
+    }
+
+    /// `true` if every shard is empty (weakly consistent, like
+    /// [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read(|m| m.is_empty()))
+    }
+
+    /// O(1) wait-free snapshot of the single shard owning `key`.
+    ///
+    /// All operations on keys that hash to this shard are linearizable
+    /// against the returned version; keys of other shards are absent.
+    pub fn snapshot_shard_of(&self, key: &K) -> Arc<PTreapMap<K, V>> {
+        self.shard_for(key).snapshot()
+    }
+
+    /// O(1) wait-free snapshot of shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.shard_count()`.
+    pub fn snapshot_shard(&self, index: usize) -> Arc<PTreapMap<K, V>> {
+        self.shards[index].snapshot()
+    }
+
+    /// A coherent point-in-time snapshot of **all** shards.
+    ///
+    /// Linearizable: retries a double scan until every shard root is
+    /// pointer-identical across two passes. Versions are never
+    /// re-installed (every committed update allocates a fresh `Arc`, and
+    /// the scan holds the first pass's versions alive, so their addresses
+    /// cannot be recycled) — equality across both passes therefore proves
+    /// each root was unchanged for the whole interval between the end of
+    /// pass one and the start of pass two, and any instant in that gap is
+    /// a consistent cut. Lock-free, not wait-free: sustained updates on
+    /// every shard can force retries.
+    pub fn snapshot_all(&self) -> ShardedSnapshot<K, V> {
+        let mut pass: Vec<Arc<PTreapMap<K, V>>> =
+            self.shards.iter().map(|s| s.snapshot()).collect();
+        loop {
+            let mut stable = true;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if !shard.is_current_version(&pass[i]) {
+                    pass[i] = shard.snapshot();
+                    stable = false;
+                }
+            }
+            if stable {
+                return ShardedSnapshot {
+                    shards: pass,
+                    mask: self.mask,
+                };
+            }
+        }
+    }
+
+    /// Merged attempt/retry statistics across all shards.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut merged = self.shards[0].stats().snapshot();
+        for shard in &self.shards[1..] {
+            let s = shard.stats().snapshot();
+            merged.ops += s.ops;
+            merged.attempts += s.attempts;
+            merged.cas_failures += s.cas_failures;
+            merged.noop_updates += s.noop_updates;
+            merged.reads += s.reads;
+            for (acc, v) in merged.attempt_hist.iter_mut().zip(s.attempt_hist) {
+                *acc += v;
+            }
+        }
+        merged
+    }
+}
+
+/// An immutable, coherent point-in-time view of a [`ShardedTreapMap`];
+/// see [`ShardedTreapMap::snapshot_all`].
+pub struct ShardedSnapshot<K, V> {
+    shards: Vec<Arc<PTreapMap<K, V>>>,
+    mask: u64,
+}
+
+impl<K, V> ShardedSnapshot<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Clone,
+{
+    /// Looks up `key` in the snapshot.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shards[shard_index(key, self.mask)].get(key)
+    }
+
+    /// `true` if `key` was present at snapshot time.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shards[shard_index(key, self.mask)].contains_key(key)
+    }
+
+    /// Exact number of entries at snapshot time.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` if the map was empty at snapshot time.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The snapshot of shard `index`.
+    pub fn shard(&self, index: usize) -> &Arc<PTreapMap<K, V>> {
+        &self.shards[index]
+    }
+
+    /// Iterates every entry, shard by shard (ordered within a shard,
+    /// unordered across shards).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.shards.iter().flat_map(|s| s.iter())
+    }
+
+    /// Collects all entries in global key order (the cross-shard merge
+    /// hash partitioning makes necessary).
+    pub fn to_sorted_vec(&self) -> Vec<(K, V)> {
+        let mut out: Vec<(K, V)> = self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: ShardedTreapMap<i64, ()> = ShardedTreapMap::with_shards(5);
+        assert_eq!(m.shard_count(), 8);
+        let m: ShardedTreapMap<i64, ()> = ShardedTreapMap::with_shards(0);
+        assert_eq!(m.shard_count(), 1);
+    }
+
+    #[test]
+    fn basic_map_semantics() {
+        let m = ShardedTreapMap::with_shards(4);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(&1), Some(11));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.remove(&1), Some(11));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let m: ShardedTreapMap<i64, ()> = ShardedTreapMap::with_shards(16);
+        for k in 0..4096 {
+            m.insert(k, ());
+        }
+        let snap = m.snapshot_all();
+        let loads: Vec<usize> = (0..m.shard_count()).map(|i| snap.shard(i).len()).collect();
+        assert_eq!(loads.iter().sum::<usize>(), 4096);
+        // Uniform hashing: no shard should be empty or grossly oversized.
+        let expect = 4096 / 16;
+        for (i, &l) in loads.iter().enumerate() {
+            assert!(
+                l > expect / 3 && l < expect * 3,
+                "shard {i} holds {l} of 4096 keys (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_uc() {
+        let m: ShardedTreapMap<i64, i64> = ShardedTreapMap::with_shards(1);
+        for k in 0..100 {
+            m.insert(k, -k);
+        }
+        assert_eq!(m.snapshot_shard(0).len(), 100);
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn snapshot_all_is_immutable_and_exact() {
+        let m = ShardedTreapMap::with_shards(8);
+        for k in 0..500i64 {
+            m.insert(k, k * 2);
+        }
+        let snap = m.snapshot_all();
+        for k in 0..500 {
+            m.remove(&k);
+        }
+        assert!(m.is_empty());
+        assert_eq!(snap.len(), 500);
+        for k in 0..500 {
+            assert_eq!(snap.get(&k), Some(&(k * 2)));
+        }
+        let sorted = snap.to_sorted_vec();
+        assert!(sorted.iter().map(|(k, _)| *k).eq(0..500));
+    }
+
+    #[test]
+    fn compute_is_atomic_per_key() {
+        let m: ShardedTreapMap<&'static str, u64> = ShardedTreapMap::with_shards(4);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let m = &m;
+                sc.spawn(move || {
+                    for _ in 0..500 {
+                        m.compute(&"hits", |v| Some(v.copied().unwrap_or(0) + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(&"hits"), Some(2000));
+    }
+
+    #[test]
+    fn concurrent_inserts_all_land() {
+        let m: ShardedTreapMap<i64, i64> = ShardedTreapMap::with_shards(16);
+        std::thread::scope(|sc| {
+            for t in 0..8i64 {
+                let m = &m;
+                sc.spawn(move || {
+                    for i in 0..500 {
+                        let k = t * 500 + i;
+                        assert_eq!(m.insert(k, k), None);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot_all();
+        assert_eq!(snap.len(), 4000);
+        assert!(snap.to_sorted_vec().iter().map(|(k, _)| *k).eq(0..4000));
+    }
+
+    #[test]
+    fn snapshot_all_never_observes_torn_transfers() {
+        // A "bank transfer" invariant: two keys (in different shards with
+        // high probability) always sum to 0 under paired updates; a
+        // coherent snapshot must never see a half-applied pair. With
+        // per-shard snapshots taken naively this fails quickly.
+        let m: ShardedTreapMap<u32, i64> = ShardedTreapMap::with_shards(16);
+        m.insert(0, 0);
+        m.insert(1, 0);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let m_ref = &m;
+            let stop_ref = &stop;
+            sc.spawn(move || {
+                for _ in 0..20_000i64 {
+                    m_ref.compute(&0, |v| Some(v.copied().unwrap_or(0) + 1));
+                    m_ref.compute(&1, |v| Some(v.copied().unwrap_or(0) - 1));
+                }
+                stop_ref.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            let mut coherent_cuts = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = m.snapshot_all();
+                let a = *snap.get(&0).unwrap();
+                let b = *snap.get(&1).unwrap();
+                // The writer updates key 0 then key 1, so a cut between
+                // the two computes may see the sum mid-transfer by design;
+                // what must NEVER happen is seeing a *future* value of
+                // key 1 with a *past* value of key 0 (sum < 0 is
+                // impossible in any prefix-consistent cut).
+                assert!(
+                    (0..=1).contains(&(a + b)),
+                    "torn snapshot: {a} + {b} = {}",
+                    a + b
+                );
+                coherent_cuts += 1;
+            }
+            assert!(coherent_cuts > 0);
+        });
+    }
+
+    #[test]
+    fn stats_merge_across_shards() {
+        let m: ShardedTreapMap<i64, ()> = ShardedTreapMap::with_shards(4);
+        for k in 0..100 {
+            m.insert(k, ());
+        }
+        let stats = m.stats_snapshot();
+        assert_eq!(stats.ops, 100);
+        assert!(stats.attempts >= 100);
+    }
+}

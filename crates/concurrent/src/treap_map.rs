@@ -85,10 +85,12 @@ where
     /// the key exists, no CAS is performed.
     pub fn insert_if_absent(&self, key: K, value: V) -> bool {
         self.uc
-            .update_reported(move |map| match map.insert_if_absent(key.clone(), value.clone()) {
-                Some(next) => Update::Replace(next, true),
-                None => Update::Keep(false),
-            })
+            .update_reported(
+                move |map| match map.insert_if_absent(key.clone(), value.clone()) {
+                    Some(next) => Update::Replace(next, true),
+                    None => Update::Keep(false),
+                },
+            )
             .result
     }
 
@@ -153,8 +155,11 @@ where
 
     /// Collects the entries in `range` from a consistent snapshot.
     pub fn range_to_vec<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
-        self.uc
-            .read(|map| map.range(range).map(|(k, v)| (k.clone(), v.clone())).collect())
+        self.uc.read(|map| {
+            map.range(range)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        })
     }
 
     /// Attempt/retry statistics.

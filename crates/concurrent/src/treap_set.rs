@@ -79,10 +79,11 @@ impl<K: Ord + Clone + Hash + Send + Sync> TreapSet<K> {
 
     /// [`insert`](Self::insert) with attempt-count instrumentation.
     pub fn insert_reported(&self, key: K) -> UpdateReport<bool> {
-        self.uc.update_reported(move |set| match set.insert(key.clone()) {
-            Some(next) => Update::Replace(next, true),
-            None => Update::Keep(false),
-        })
+        self.uc
+            .update_reported(move |set| match set.insert(key.clone()) {
+                Some(next) => Update::Replace(next, true),
+                None => Update::Keep(false),
+            })
     }
 
     /// Removes `key`. Returns `true` if the set changed (`false` if the
@@ -185,8 +186,8 @@ mod tests {
             for t in 0..THREADS {
                 let s = &s;
                 sc.spawn(move || {
-                    for round in 0..3 {
-                        let base = t * PER + round * 0; // same keys each round
+                    for _round in 0..3 {
+                        let base = t * PER; // same keys each round
                         for i in 0..PER {
                             assert!(s.insert(base + i), "insert must succeed");
                         }

@@ -10,9 +10,10 @@
 use std::num::NonZeroU32;
 
 /// What to do between a failed CAS and the next attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum BackoffPolicy {
     /// Retry immediately (the paper's behaviour).
+    #[default]
     None,
     /// Exponential spinning: attempt `k` spins `min(2^k, 2^limit)` times.
     ExponentialSpin {
@@ -27,12 +28,6 @@ pub enum BackoffPolicy {
     /// Yield the OS thread between attempts. Relevant when the system is
     /// oversubscribed (more worker threads than hardware threads).
     Yield,
-}
-
-impl Default for BackoffPolicy {
-    fn default() -> Self {
-        BackoffPolicy::None
-    }
 }
 
 impl BackoffPolicy {

@@ -182,6 +182,16 @@ impl<S: Send + Sync> PathCopyUc<S> {
         }
     }
 
+    /// `true` if `version` is (pointer-)identical to the current version.
+    ///
+    /// Because committed updates always install freshly allocated
+    /// versions, a held snapshot that is still current was never replaced
+    /// in between — the basis for optimistic multi-object validation
+    /// (see `pathcopy_concurrent`'s sharded snapshots).
+    pub fn is_current_version(&self, version: &Arc<S>) -> bool {
+        self.root.is_current(version)
+    }
+
     /// Unconditionally replaces the current version (not linearizable with
     /// respect to concurrent updates; intended for setup/reset phases).
     pub fn replace_version(&self, new_version: S) {
@@ -316,8 +326,7 @@ mod tests {
                         });
                         local += r.attempts;
                     }
-                    total_attempts
-                        .fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                    total_attempts.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
                 });
             }
         });

@@ -137,6 +137,7 @@ impl<T: Send + Sync> VersionCell<T> {
                 // SAFETY: same argument as in `load`; we are still pinned,
                 // so `actual` cannot have been reclaimed.
                 unsafe { Arc::increment_strong_count(actual) };
+                // SAFETY: we just minted a strong reference for ourselves.
                 let current = unsafe { Arc::from_raw(actual) };
                 Err(CasError { proposed, current })
             }
@@ -152,8 +153,12 @@ impl<T: Send + Sync> VersionCell<T> {
         // Hand one strong reference to the caller...
         // SAFETY: pinned, so `displaced` is alive (see `load`).
         unsafe { Arc::increment_strong_count(displaced) };
+        // SAFETY: we just minted a strong reference for ourselves.
         let snapshot = unsafe { Arc::from_raw(displaced) };
         // ...and defer releasing the reference the cell owned.
+        // SAFETY: readers still holding the raw pointer do so only under
+        // pins concurrent with this guard; the deferred drop runs after
+        // all of them unpin.
         unsafe {
             guard.defer_unchecked(move || drop(Arc::from_raw(displaced)));
         }
@@ -168,7 +173,7 @@ impl<T: Send + Sync> VersionCell<T> {
     /// Returns `true` if `version` is (pointer-)identical to the current
     /// version. Useful for optimistic validation.
     pub fn is_current(&self, version: &Arc<T>) -> bool {
-        self.ptr.load(Ordering::Acquire) == Arc::as_ptr(version) as *mut T
+        std::ptr::eq(self.ptr.load(Ordering::Acquire), Arc::as_ptr(version))
     }
 }
 
@@ -191,6 +196,8 @@ impl<T: Send + Sync + fmt::Debug> fmt::Debug for VersionCell<T> {
 // SAFETY: the cell hands out `Arc<T>` snapshots across threads, so it
 // needs exactly the bounds `Arc<T>` itself needs to be `Send + Sync`.
 unsafe impl<T: Send + Sync> Send for VersionCell<T> {}
+// SAFETY: same argument as for `Send` above — shared access only ever
+// yields `Arc<T>` snapshots.
 unsafe impl<T: Send + Sync> Sync for VersionCell<T> {}
 
 #[cfg(test)]

@@ -49,7 +49,13 @@ pub struct RetrySeriesPoint {
 
 /// Fig. 3/4: attempts per committed operation versus process count — the
 /// round-robin schedule's "P − 1 failures per success".
-pub fn fig34_retry_series(ps: &[usize], n: u64, r: u64, ops: u64, seed: u64) -> Vec<RetrySeriesPoint> {
+pub fn fig34_retry_series(
+    ps: &[usize],
+    n: u64,
+    r: u64,
+    ops: u64,
+    seed: u64,
+) -> Vec<RetrySeriesPoint> {
     ps.iter()
         .map(|&p| {
             let res = simulate_concurrent(ConcConfig {
@@ -93,7 +99,13 @@ pub fn fig5_modified_on_path(p: usize, n: u64, r: u64, ops: u64, seed: u64) -> M
     let hist = res
         .retry_uncached_hist
         .iter()
-        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
         .collect();
     let levels = n.trailing_zeros();
     let model_pmf = (1..=levels)

@@ -24,8 +24,7 @@ pub mod seq;
 pub mod tree;
 
 pub use analytic::{
-    asymptotic_speedup, conc_cost_per_op, expected_modified_on_path, model_speedup,
-    seq_cost_per_op,
+    asymptotic_speedup, conc_cost_per_op, expected_modified_on_path, model_speedup, seq_cost_per_op,
 };
 pub use cache::LruCache;
 pub use conc::{simulate_concurrent, ConcConfig, ConcResult};

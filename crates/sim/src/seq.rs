@@ -246,8 +246,14 @@ mod tests {
             formula
         );
         let diff = (cfg.n as f64).log2() - (cfg.m as f64).log2();
-        assert!(res.misses_per_op >= diff - 0.5, "too few misses to be honest");
-        assert!(res.misses_per_op <= diff + 4.0, "LRU band wider than expected");
+        assert!(
+            res.misses_per_op >= diff - 0.5,
+            "too few misses to be honest"
+        );
+        assert!(
+            res.misses_per_op <= diff + 4.0,
+            "LRU band wider than expected"
+        );
     }
 
     #[test]

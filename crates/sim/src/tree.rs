@@ -33,7 +33,10 @@ impl ModelTree {
     ///
     /// Panics if `n` is not a power of two or is smaller than 2.
     pub fn new(n: u64) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         let levels = n.trailing_zeros();
         let node_count = 2 * n as usize;
         let mut id_of = vec![0u64; node_count];
@@ -74,7 +77,9 @@ impl ModelTree {
     pub fn path_positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
         debug_assert!(key < self.n());
         let leaf = self.n() + key;
-        (0..=self.levels).rev().map(move |shift| (leaf >> shift) as usize)
+        (0..=self.levels)
+            .rev()
+            .map(move |shift| (leaf >> shift) as usize)
     }
 
     /// Current identities on the path to `key`, root first. This is what

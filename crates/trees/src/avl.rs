@@ -67,7 +67,12 @@ fn mk<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Arc<AvlNod
 
 /// Balance factor must stay within ±1; rebuilds the subtree rooted here
 /// with rotations when an update knocked it to ±2.
-fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Arc<AvlNode<K, V>> {
+fn balance<K: Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Arc<AvlNode<K, V>> {
     let hl = height(&left);
     let hr = height(&right);
     if hl > hr + 1 {
@@ -75,11 +80,21 @@ fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K
         if height(&l.left) >= height(&l.right) {
             // Single right rotation.
             let new_right = mk(key, value, l.right.clone(), right);
-            mk(l.key.clone(), l.value.clone(), l.left.clone(), Some(new_right))
+            mk(
+                l.key.clone(),
+                l.value.clone(),
+                l.left.clone(),
+                Some(new_right),
+            )
         } else {
             // Left-right double rotation.
             let lr = l.right.as_ref().expect("LR case needs l.right");
-            let new_left = mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone());
+            let new_left = mk(
+                l.key.clone(),
+                l.value.clone(),
+                l.left.clone(),
+                lr.left.clone(),
+            );
             let new_right = mk(key, value, lr.right.clone(), right);
             mk(
                 lr.key.clone(),
@@ -93,12 +108,22 @@ fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K
         if height(&r.right) >= height(&r.left) {
             // Single left rotation.
             let new_left = mk(key, value, left, r.left.clone());
-            mk(r.key.clone(), r.value.clone(), Some(new_left), r.right.clone())
+            mk(
+                r.key.clone(),
+                r.value.clone(),
+                Some(new_left),
+                r.right.clone(),
+            )
         } else {
             // Right-left double rotation.
             let rl = r.left.as_ref().expect("RL case needs r.left");
             let new_left = mk(key, value, left, rl.left.clone());
-            let new_right = mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone());
+            let new_right = mk(
+                r.key.clone(),
+                r.value.clone(),
+                rl.right.clone(),
+                r.right.clone(),
+            );
             mk(
                 rl.key.clone(),
                 rl.value.clone(),
@@ -247,10 +272,7 @@ impl<K: Ord, V> AvlMap<K, V> {
                     }
                     let (hl, sl) = walk(&n.left, lo, Some(&n.key));
                     let (hr, sr) = walk(&n.right, Some(&n.key), hi);
-                    assert!(
-                        hl.abs_diff(hr) <= 1,
-                        "AVL balance violated: {hl} vs {hr}"
-                    );
+                    assert!(hl.abs_diff(hr) <= 1, "AVL balance violated: {hl} vs {hr}");
                     assert_eq!(n.height, 1 + hl.max(hr), "height field stale");
                     assert_eq!(n.size, 1 + sl + sr, "size field stale");
                     (n.height, n.size)

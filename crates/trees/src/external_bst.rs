@@ -163,7 +163,10 @@ impl<K: Ord + Clone> ExternalBstSet<K> {
             match &**cur {
                 EbNode::Leaf { key: leaf_key } => return leaf_key.borrow() == key,
                 EbNode::Internal {
-                    router, left, right, ..
+                    router,
+                    left,
+                    right,
+                    ..
                 } => {
                     cur = if key < router.borrow() { left } else { right };
                 }
@@ -245,7 +248,10 @@ fn insert_rec<K: Ord + Clone>(node: &Arc<EbNode<K>>, key: K) -> Option<Arc<EbNod
             }
         },
         EbNode::Internal {
-            router, left, right, ..
+            router,
+            left,
+            right,
+            ..
         } => {
             if key < *router {
                 let new_left = insert_rec(left, key)?;
@@ -272,7 +278,10 @@ where
             }
         }
         EbNode::Internal {
-            router, left, right, ..
+            router,
+            left,
+            right,
+            ..
         } => {
             if key < router.borrow() {
                 match remove_rec(left, key)? {
@@ -371,7 +380,10 @@ impl<K: Ord + Clone> crate::sharing::SearchTree for ExternalBstSet<K> {
             match &**cur {
                 EbNode::Leaf { .. } => return,
                 EbNode::Internal {
-                    router, left, right, ..
+                    router,
+                    left,
+                    right,
+                    ..
                 } => {
                     cur = if key < router { left } else { right };
                 }

@@ -141,10 +141,8 @@ impl<K: Ord + Hash> MutTreapSet<K> {
                     if let Some(hi) = hi {
                         assert!(n.key < *hi, "BST order violated");
                     }
-                    for child in [&n.left, &n.right] {
-                        if let Some(c) = child {
-                            assert!(c.priority <= n.priority, "heap order violated");
-                        }
+                    for c in [&n.left, &n.right].into_iter().flatten() {
+                        assert!(c.priority <= n.priority, "heap order violated");
                     }
                     1 + walk(&n.left, lo, Some(&n.key)) + walk(&n.right, Some(&n.key), hi)
                 }

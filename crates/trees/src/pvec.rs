@@ -130,8 +130,7 @@ impl<T: Clone> PVec<T> {
             }
         } else {
             // Grow a level: the old root becomes child 0 of a new root.
-            let mut children: Vec<Option<Arc<VNode<T>>>> =
-                (0..WIDTH).map(|_| None).collect();
+            let mut children: Vec<Option<Arc<VNode<T>>>> = (0..WIDTH).map(|_| None).collect();
             children[0] = self.root.clone();
             let new_shift = self.shift + BITS;
             let grown = Arc::new(VNode::Branch(children));

@@ -99,7 +99,13 @@ where
 {
     fn with_color(&self, color: Color) -> Tree<K, V> {
         match self {
-            Node(n) => mk(color, n.left.clone(), n.key.clone(), n.value.clone(), n.right.clone()),
+            Node(n) => mk(
+                color,
+                n.left.clone(),
+                n.key.clone(),
+                n.value.clone(),
+                n.right.clone(),
+            ),
             _ => unreachable!("recoloring an empty tree"),
         }
     }
@@ -160,16 +166,15 @@ fn balance<K: Ord + Clone, V: Clone>(
                 // Case 2: left child red with red right child.
                 if let Node(lr) = &l.right {
                     if lr.color == Red {
-                        let new_l =
-                            mk(Black, l.left.clone(), l.key.clone(), l.value.clone(), lr.left.clone());
-                        let new_r = mk(Black, lr.right.clone(), key, value, right);
-                        return mk(
-                            out_color,
-                            new_l,
-                            lr.key.clone(),
-                            lr.value.clone(),
-                            new_r,
+                        let new_l = mk(
+                            Black,
+                            l.left.clone(),
+                            l.key.clone(),
+                            l.value.clone(),
+                            lr.left.clone(),
                         );
+                        let new_r = mk(Black, lr.right.clone(), key, value, right);
+                        return mk(out_color, new_l, lr.key.clone(), lr.value.clone(), new_r);
                     }
                 }
             }
@@ -180,15 +185,14 @@ fn balance<K: Ord + Clone, V: Clone>(
                 if let Node(rl) = &r.left {
                     if rl.color == Red {
                         let new_l = mk(Black, left, key, value, rl.left.clone());
-                        let new_r =
-                            mk(Black, rl.right.clone(), r.key.clone(), r.value.clone(), r.right.clone());
-                        return mk(
-                            out_color,
-                            new_l,
-                            rl.key.clone(),
-                            rl.value.clone(),
-                            new_r,
+                        let new_r = mk(
+                            Black,
+                            rl.right.clone(),
+                            r.key.clone(),
+                            r.value.clone(),
+                            r.right.clone(),
                         );
+                        return mk(out_color, new_l, rl.key.clone(), rl.value.clone(), new_r);
                     }
                 }
                 // Case 4: right child red with red right child.
@@ -681,7 +685,7 @@ mod tests {
         let bh = m.check_invariants();
         // Black height of an n-node RB tree is between log2(n)/2 and
         // log2(n)+1.
-        assert!(bh >= 6 && bh <= 14, "black height {bh} out of range");
+        assert!((6..=14).contains(&bh), "black height {bh} out of range");
         assert_eq!(m.len() as u64, n);
         assert!(m.iter().map(|(k, _)| *k).eq(0..n));
     }

@@ -70,7 +70,13 @@ fn size_of<K, V>(link: &Link<K, V>) -> usize {
 }
 
 #[inline]
-fn mk<K, V>(key: K, value: V, priority: u64, left: Link<K, V>, right: Link<K, V>) -> Arc<Node<K, V>> {
+fn mk<K, V>(
+    key: K,
+    value: V,
+    priority: u64,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Arc<Node<K, V>> {
     let size = 1 + size_of(&left) + size_of(&right);
     Arc::new(Node {
         key,
@@ -410,13 +416,11 @@ impl<K: Ord, V> TreapMap<K, V> {
                     if let Some(hi) = hi {
                         assert!(n.key < *hi, "BST order violated (right bound)");
                     }
-                    for child in [&n.left, &n.right] {
-                        if let Some(c) = child {
-                            assert!(
-                                c.priority <= n.priority,
-                                "heap order violated: child priority above parent"
-                            );
-                        }
+                    for c in [&n.left, &n.right].into_iter().flatten() {
+                        assert!(
+                            c.priority <= n.priority,
+                            "heap order violated: child priority above parent"
+                        );
                     }
                     let ls = walk(&n.left, lo, Some(&n.key));
                     let rs = walk(&n.right, Some(&n.key), hi);
@@ -581,7 +585,10 @@ fn merge<K: Ord + Clone, V: Clone>(l: &Link<K, V>, r: &Link<K, V>) -> Link<K, V>
 /// Splits around `key` into (`< key`, the node with `key` if present,
 /// `> key`).
 #[allow(clippy::type_complexity)]
-fn split_rec<K, V, Q>(link: &Link<K, V>, key: &Q) -> (Link<K, V>, Option<Arc<Node<K, V>>>, Link<K, V>)
+fn split_rec<K, V, Q>(
+    link: &Link<K, V>,
+    key: &Q,
+) -> (Link<K, V>, Option<Arc<Node<K, V>>>, Link<K, V>)
 where
     K: Ord + Clone + Borrow<Q>,
     V: Clone,
@@ -736,12 +743,16 @@ impl<K: Ord + Clone + Hash> TreapSet<K> {
     where
         K: Default,
     {
-        TreapSet { map: TreapMap::new() }
+        TreapSet {
+            map: TreapMap::new(),
+        }
     }
 
     /// Creates an empty set (no `Default` bound).
     pub fn empty() -> Self {
-        TreapSet { map: TreapMap::new() }
+        TreapSet {
+            map: TreapMap::new(),
+        }
     }
 
     /// Inserts `key`; `None` means it was already present.
@@ -881,9 +892,7 @@ mod tests {
             match (a, b) {
                 (None, None) => true,
                 (Some(x), Some(y)) => {
-                    x.key == y.key
-                        && same_shape(&x.left, &y.left)
-                        && same_shape(&x.right, &y.right)
+                    x.key == y.key && same_shape(&x.left, &y.left) && same_shape(&x.right, &y.right)
                 }
                 _ => false,
             }
@@ -998,7 +1007,10 @@ mod tests {
         // Count nodes of m2 not shared with m: must be bounded by the
         // path length (+1 for a possible split spine), not the tree size.
         let olds: std::collections::HashSet<*const Node<i64, i64>> = {
-            fn collect<K, V>(l: &Link<K, V>, out: &mut std::collections::HashSet<*const Node<K, V>>) {
+            fn collect<K, V>(
+                l: &Link<K, V>,
+                out: &mut std::collections::HashSet<*const Node<K, V>>,
+            ) {
                 if let Some(n) = l {
                     out.insert(Arc::as_ptr(n));
                     collect(&n.left, out);

@@ -97,7 +97,11 @@ impl BatchWorkload {
         };
         let prefill: Vec<i64> = (0..prefill_size).map(|_| draw_fresh(&mut rng)).collect();
         let per_process: Vec<Vec<i64>> = (0..processes)
-            .map(|_| (0..keys_per_process).map(|_| draw_fresh(&mut rng)).collect())
+            .map(|_| {
+                (0..keys_per_process)
+                    .map(|_| draw_fresh(&mut rng))
+                    .collect()
+            })
             .collect();
         BatchWorkload {
             prefill,
@@ -281,9 +285,11 @@ impl MixedStream {
     fn draw_key(&mut self) -> i64 {
         match self.dist {
             KeyDist::Uniform { range } => self.rng.gen_range(-range..=range),
-            KeyDist::Zipf { .. } => {
-                self.zipf.as_mut().expect("zipf sampler").sample(&mut self.rng) as i64
-            }
+            KeyDist::Zipf { .. } => self
+                .zipf
+                .as_mut()
+                .expect("zipf sampler")
+                .sample(&mut self.rng) as i64,
         }
     }
 }

@@ -22,7 +22,9 @@ const KEYS_PER_PROC: usize = 20_000;
 const TRIAL: Duration = Duration::from_millis(300);
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("hardware threads: {cores}\n");
 
     // --- Real measurement (Batch workload) -----------------------------

@@ -34,7 +34,10 @@ fn main() {
     // new version copying exactly that path.
     let (v_p, _) = v0.insert_with_priority(5, (), 300);
     let stats = sharing::sharing_stats(&v0, &v_p);
-    println!("insert(5): old {} nodes, new {} nodes", stats.old_nodes, stats.new_nodes);
+    println!(
+        "insert(5): old {} nodes, new {} nodes",
+        stats.old_nodes, stats.new_nodes
+    );
     println!(
         "  shared {}  copied {}  retired {}",
         stats.shared, stats.fresh, stats.retired

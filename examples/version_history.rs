@@ -11,10 +11,13 @@ use std::sync::Arc;
 use path_copying::pathcopy_trees::TreapMap;
 use path_copying::prelude::{PathCopyUc, Update};
 
+/// A version id paired with the archived snapshot it names.
+type ArchivedVersion = (u64, Arc<TreapMap<String, i64>>);
+
 /// A keyed store that records every committed version.
 struct VersionedStore {
     uc: PathCopyUc<TreapMap<String, i64>>,
-    history: std::sync::Mutex<Vec<(u64, Arc<TreapMap<String, i64>>)>>,
+    history: std::sync::Mutex<Vec<ArchivedVersion>>,
     next_version: std::sync::atomic::AtomicU64,
 }
 

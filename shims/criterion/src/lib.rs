@@ -1,0 +1,384 @@
+//! In-tree shim for the subset of the Criterion.rs API this workspace's
+//! benches use: groups, `bench_function`, `iter`/`iter_custom`,
+//! `BenchmarkId`, `Throughput`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build image has no network access to a crates.io mirror, so the
+//! workspace vendors a small harness with the same calling convention.
+//! It measures wall-clock mean/min/max over the configured sample count
+//! and prints one line per benchmark; it does not keep baselines, plot,
+//! or bootstrap confidence intervals.
+//!
+//! CLI compatibility with `cargo bench` and the real Criterion:
+//!
+//! * `--test` runs every benchmark once with a single iteration (used by
+//!   CI smoke jobs and `cargo bench -- --test`);
+//! * a positional argument filters benchmarks by substring;
+//! * `--bench` (passed by cargo itself) and the common Criterion flags
+//!   that make no sense here (`--save-baseline`, `--baseline`,
+//!   `--noplot`, …) are accepted and ignored.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point state for a bench binary; created by [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    ran: usize,
+}
+
+/// Per-group measurement settings.
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from `std::env::args`, accepting the subset of
+    /// Criterion flags described in the crate docs.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--noplot" | "--quiet" | "--verbose" | "--exact" | "--quick" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time" => {
+                    // Flag takes a value we do not use.
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), Settings::default(), f);
+        self
+    }
+
+    /// Opens a benchmark group with its own measurement settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Prints the closing line; called by [`criterion_main!`].
+    pub fn final_summary(&mut self) {
+        if self.test_mode {
+            println!(
+                "criterion-shim: {} benchmark(s) executed in test mode",
+                self.ran
+            );
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, settings: Settings, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("Testing {id}: ok");
+            self.ran += 1;
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one sample is long
+        // enough that `sample_size` samples fill the measurement time.
+        // Bounded by *wall clock*, not only by the reported duration:
+        // `iter_custom` closures may report normalized (e.g. per-op)
+        // times far below the real time they take, and doubling until the
+        // reported time fills the window would then run for hours.
+        let per_sample = settings.measurement_time / settings.sample_size as u32;
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            let wall = Instant::now();
+            f(&mut b);
+            let wall = wall.elapsed();
+            if b.elapsed >= per_sample / 2 || wall * 2 >= per_sample || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Warm-up.
+        let warm_deadline = Instant::now() + settings.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+
+        // Measure.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+        for _ in 0..settings.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let (lo, hi) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(mean),
+            fmt_ns(hi)
+        );
+        println!("{line}");
+        self.ran += 1;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Declares the throughput of each iteration (accepted; the shim
+    /// reports time per iteration only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        let settings = self.settings;
+        self.criterion.run_one(id, settings, f);
+        self
+    }
+
+    /// Closes the group (no-op; for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// A benchmark id with a parameter, `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id string (either a `&str` or a
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Iteration throughput declaration (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_all_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 37);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("uc", 4).into_benchmark_id(), "uc/4");
+        assert_eq!(BenchmarkId::from_parameter(8).into_benchmark_id(), "8");
+    }
+
+    #[test]
+    fn test_mode_runs_each_function_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            ran: 0,
+        };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+            test_mode: true,
+            ran: 0,
+        };
+        let mut calls = 0;
+        c.bench_function("no", |b| b.iter(|| calls += 1));
+        c.bench_function("does_match", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        assert_eq!(c.ran, 1);
+    }
+}

@@ -1,0 +1,476 @@
+//! In-tree shim for the subset of the `proptest` API this workspace's
+//! property tests use: the [`proptest!`] macro, [`strategy::Strategy`]
+//! with `prop_map`, [`prop_oneof!`], `any::<T>()`, integer-range
+//! strategies, `prop::collection::{vec, btree_set}`, and the
+//! `prop_assert*` macros.
+//!
+//! The build image has no network access to a crates.io mirror, so the
+//! workspace vendors a small random-generation harness with the same
+//! calling convention. Differences from the real crate: cases are drawn
+//! from a deterministic per-test RNG (seeded from the test name, so runs
+//! are reproducible), there is **no shrinking** — a failing case prints
+//! its generated inputs instead — and `prop_assert*` panic immediately.
+
+use std::marker::PhantomData;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng as _;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy; see [`Strategy::boxed`].
+    pub struct BoxedStrategy<V> {
+        inner: Box<dyn Strategy<Value = V>>,
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies; built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Chooses uniformly among `options` on each draw.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let ix = rng.rng.gen_range(0..self.options.len());
+            self.options[ix].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Debug + Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for full-range generation.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::PhantomData;
+    use std::fmt::Debug;
+
+    use rand::Rng as _;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical full-range strategy of `T`; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns the canonical strategy generating arbitrary values of `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = Any<bool>;
+        fn arbitrary() -> Any<bool> {
+            Any(PhantomData)
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($t:ident),+)),+) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                type Strategy = ($($t::Strategy,)+);
+                fn arbitrary() -> Self::Strategy {
+                    ($($t::arbitrary(),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_tuple!((A, B), (A, B, C));
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    use rand::Rng as _;
+
+    /// Generates `Vec`s with a length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s with a target size drawn from `size` and
+    /// elements from `element`. If the element domain is too small to
+    /// reach the target size, the set may come out smaller (matching the
+    /// real crate's duplicate-collapsing behaviour).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord + Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            // Bounded attempts: duplicates collapse, so small domains
+            // cannot loop forever.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the per-test RNG.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The RNG handed to strategies; deterministic per test name.
+    pub struct TestRng {
+        pub(crate) rng: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds from a stable hash of `name`, so each test is
+        /// reproducible across runs but distinct from its neighbours.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                rng: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-line import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each case draws its arguments from the given
+/// strategies and runs the body; a failure reports the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = ($strat).generate(&mut rng);)+
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body)
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case} of {} failed with inputs: {}",
+                            stringify!($name),
+                            described
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion (panics on failure; the shim has no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (0usize..7).generate(&mut rng);
+            assert!(v < 7);
+            let w = (-5i16..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn collections_honor_size_and_dedup() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic("collections");
+        for _ in 0..100 {
+            let v = prop::collection::vec(any::<u8>(), 3..9).generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+            let s = prop::collection::btree_set(any::<i16>(), 16..64).generate(&mut rng);
+            assert!(s.len() < 64);
+            assert!(s.len() >= 16, "i16 domain easily fills 16 slots");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_and_runs(x in 0u32..100, pair in (any::<bool>(), 1i64..=9)) {
+            prop_assert!(x < 100);
+            let (_b, n) = pair;
+            prop_assert!((1..=9).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop::collection::vec(prop_oneof![
+            (0i32..10).prop_map(|n| n * 2),
+            (0i32..10).prop_map(|n| n * 2 + 1),
+        ], 0..20)) {
+            prop_assert!(v.iter().all(|&n| (0..20).contains(&n)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        for _ in 0..100 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}

@@ -42,6 +42,51 @@
 //! set.remove(&0);
 //! assert!(snap.contains(&0));
 //! ```
+//!
+//! ## Scaling past the single root: the sharded map
+//!
+//! The paper's construction serializes every update through one
+//! `Root_Ptr` CAS. [`ShardedTreapMap`](prelude::ShardedTreapMap)
+//! hash-partitions keys across `N` independent UC roots: per-key
+//! operations keep the UC's lock-freedom and linearizability, updates to
+//! different shards never contend, and `snapshot_all()` still yields a
+//! coherent cut of the whole map via a validated double scan:
+//!
+//! ```
+//! use path_copying::prelude::ShardedTreapMap;
+//!
+//! let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(16);
+//! std::thread::scope(|s| {
+//!     for t in 0..8u64 {
+//!         let m = &m;
+//!         s.spawn(move || {
+//!             for i in 0..500 {
+//!                 m.insert(t * 500 + i, i); // contends only within one shard
+//!             }
+//!         });
+//!     }
+//! });
+//!
+//! let snap = m.snapshot_all(); // consistent across all 16 shards
+//! assert_eq!(snap.len(), 4000);
+//! m.remove(&0);
+//! assert!(snap.contains_key(&0)); // the cut is immutable
+//! ```
+//!
+//! Compare the two yourself: `cargo bench --bench sharded_scaling` (or
+//! `cargo run --release --example sharded_demo`).
+//!
+//! ## Building and testing
+//!
+//! The workspace is self-contained — external dependencies are vendored
+//! as API-compatible shims under `shims/` (the build image has no
+//! registry access), so the following work offline:
+//!
+//! ```text
+//! cargo build --release      # whole workspace, examples and bins included
+//! cargo test -q              # unit + integration + property + doc tests
+//! cargo bench -- --test      # every bench once, smoke mode
+//! ```
 
 #![warn(missing_docs)]
 
@@ -55,7 +100,8 @@ pub use pathcopy_workloads;
 pub mod prelude {
     pub use pathcopy_concurrent::{
         AvlSet as ConcurrentAvlSet, ExternalBstSet as ConcurrentExternalBstSet, LockedTreapSet,
-        Queue, RbSet as ConcurrentRbSet, RwLockedTreapSet, Stack, TreapMap, TreapSet,
+        Queue, RbSet as ConcurrentRbSet, RwLockedTreapSet, ShardedSnapshot, ShardedTreapMap, Stack,
+        TreapMap, TreapSet,
     };
     pub use pathcopy_core::{
         BackoffPolicy, MutexUc, PathCopyUc, RwLockUc, SeqUc, Update, VersionCell,

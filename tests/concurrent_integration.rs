@@ -39,10 +39,34 @@ fn four_structures_agree_on_the_same_random_stream() {
     let ebst = ConcurrentExternalBstSet::new();
 
     let mk = || pathcopy_workloads::RandomStream::new(300, 99);
-    drive(mk(), 5_000, |k| treap.insert(k), |k| treap.remove(&k), |k| treap.contains(&k));
-    drive(mk(), 5_000, |k| avl.insert(k), |k| avl.remove(&k), |k| avl.contains(&k));
-    drive(mk(), 5_000, |k| rb.insert(k), |k| rb.remove(&k), |k| rb.contains(&k));
-    drive(mk(), 5_000, |k| ebst.insert(k), |k| ebst.remove(&k), |k| ebst.contains(&k));
+    drive(
+        mk(),
+        5_000,
+        |k| treap.insert(k),
+        |k| treap.remove(&k),
+        |k| treap.contains(&k),
+    );
+    drive(
+        mk(),
+        5_000,
+        |k| avl.insert(k),
+        |k| avl.remove(&k),
+        |k| avl.contains(&k),
+    );
+    drive(
+        mk(),
+        5_000,
+        |k| rb.insert(k),
+        |k| rb.remove(&k),
+        |k| rb.contains(&k),
+    );
+    drive(
+        mk(),
+        5_000,
+        |k| ebst.insert(k),
+        |k| ebst.remove(&k),
+        |k| ebst.contains(&k),
+    );
 
     let a: Vec<i64> = treap.snapshot().iter().copied().collect();
     let b: Vec<i64> = avl.snapshot().iter().copied().collect();
@@ -132,7 +156,11 @@ fn snapshot_isolation_under_heavy_churn() {
         });
     });
 
-    assert_eq!(violations.load(Ordering::Relaxed), 0, "snapshot isolation violated");
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "snapshot isolation violated"
+    );
 }
 
 #[test]

@@ -11,6 +11,7 @@ use path_copying::pathcopy_trees::{
     avl::AvlMap, list::PStack, pvec::PVec, queue::PQueue, rbtree::RbMap, sharing, ExternalBstSet,
     TreapMap,
 };
+use path_copying::prelude::ShardedTreapMap;
 
 /// An operation on a keyed map/set.
 #[derive(Debug, Clone)]
@@ -173,7 +174,7 @@ proptest! {
     }
 
     #[test]
-    fn sharing_bound_holds_per_update(keys in prop::collection::btree_set(any::<i16>(), 16..200), new_key in any::<i32>()) {
+    fn sharing_bound_holds_per_update(keys in prop::collection::btree_set(any::<i16>(), 16..200), new_key in any::<i16>()) {
         // One insert must allocate O(path), never O(n).
         let m: TreapMap<i32, ()> = keys.iter().map(|&k| (k as i32, ())).collect();
         let height = m.height();
@@ -273,6 +274,60 @@ proptest! {
             prop_assert_eq!(m.rank(&k), rank);
         }
         prop_assert_eq!(m.select(keys.len()), None);
+    }
+
+    #[test]
+    fn sharded_treap_map_matches_btreemap(ops in map_ops(), shards_log2 in 0u32..6) {
+        // The sharded front-end must behave exactly like one big map, for
+        // every shard count (1 shard = the paper's single-root UC).
+        let mut reference = BTreeMap::new();
+        let m: ShardedTreapMap<i16, i16> = ShardedTreapMap::with_shards(1 << shards_log2);
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(m.insert(k, v), reference.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(m.remove(&k), reference.remove(&k));
+                }
+                MapOp::Query(k) => {
+                    prop_assert_eq!(m.get(&k), reference.get(&k).copied());
+                    prop_assert_eq!(m.contains_key(&k), reference.contains_key(&k));
+                }
+            }
+            prop_assert_eq!(m.len(), reference.len());
+        }
+        let snap = m.snapshot_all();
+        prop_assert_eq!(snap.len(), reference.len());
+        prop_assert!(snap.to_sorted_vec().into_iter().eq(reference.into_iter()));
+    }
+
+    #[test]
+    fn sharded_snapshot_is_immutable(ops in map_ops(), cut in 0usize..120) {
+        // snapshot_all() taken mid-stream must be bit-for-bit identical
+        // after arbitrary further updates (persistence across shards).
+        let m: ShardedTreapMap<i16, i16> = ShardedTreapMap::with_shards(8);
+        let mut snapshot = None;
+        let mut snapshot_contents = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i == cut {
+                let snap = m.snapshot_all();
+                snapshot_contents = snap.to_sorted_vec();
+                snapshot = Some(snap);
+            }
+            match op {
+                MapOp::Insert(k, v) => {
+                    m.insert(*k, *v);
+                }
+                MapOp::Remove(k) => {
+                    m.remove(k);
+                }
+                MapOp::Query(_) => {}
+            }
+        }
+        if let Some(snap) = snapshot {
+            prop_assert_eq!(snap.to_sorted_vec(), snapshot_contents);
+        }
     }
 
     #[test]

@@ -70,10 +70,8 @@ fn retired_versions_are_freed_under_churn() {
                 s.spawn(move || {
                     for i in 0..2_000 {
                         let cur = cell.load();
-                        let _ = cell.compare_exchange(
-                            &cur,
-                            Arc::new(Tracked::new(&LIVE, t * 10_000 + i)),
-                        );
+                        let _ = cell
+                            .compare_exchange(&cur, Arc::new(Tracked::new(&LIVE, t * 10_000 + i)));
                     }
                 });
             }
@@ -129,10 +127,7 @@ fn uc_releases_whole_structures() {
                     for i in 0..500 {
                         uc.update(|list| {
                             Update::Replace(
-                                TrackedList(Some(Arc::new((
-                                    Tracked::new(&LIVE, i),
-                                    list.clone(),
-                                )))),
+                                TrackedList(Some(Arc::new((Tracked::new(&LIVE, i), list.clone())))),
                                 (),
                             )
                         });
@@ -140,15 +135,18 @@ fn uc_releases_whole_structures() {
                 });
             }
         });
-        assert_eq!(uc.read(|l| {
-            let mut n = 0;
-            let mut cur = &l.0;
-            while let Some(node) = cur {
-                n += 1;
-                cur = &node.1 .0;
-            }
-            n
-        }), 1000);
+        assert_eq!(
+            uc.read(|l| {
+                let mut n = 0;
+                let mut cur = &l.0;
+                while let Some(node) = cur {
+                    n += 1;
+                    cur = &node.1 .0;
+                }
+                n
+            }),
+            1000
+        );
     }
     drain_epochs(&LIVE, 0, "uc drop");
 }
