@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses from an iterator of raw arguments (excluding argv[0]).
+    /// Parses from an iterator of raw arguments (excluding `argv[0]`).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
         let mut values = HashMap::new();
         let mut flags = Vec::new();

@@ -1,0 +1,553 @@
+//! Atomic multi-key batch transactions over the sharded UC map.
+//!
+//! The paper's point is that path copying makes composite operations
+//! cheap: a batch of updates is just another sequential function from one
+//! persistent version to the next, installed with a single root CAS. On
+//! the sharded map ([`ShardedTreapMap`]) a batch may span *several*
+//! roots, so [`ShardedTreapMap::transact`] runs a two-phase commit:
+//!
+//! 1. **Group** the batch by shard (keys hash to shards exactly as the
+//!    per-key operations do).
+//! 2. **Single-shard fast path** — if every key lands in one shard, the
+//!    batch is applied through that shard's ordinary lock-free
+//!    load/path-copy/CAS loop ([`pathcopy_core::PathCopyUc::update`]);
+//!    no locks, no freezing. This keeps the common case exactly as cheap
+//!    as the paper's construction.
+//! 3. **Multi-shard commit** — acquire the involved shards' commit locks
+//!    in ascending shard-index order (deadlock-free; these locks only
+//!    exclude *rival multi-shard commits* — per-key operations never
+//!    take them), speculatively build every involved shard's new
+//!    persistent root by path copying, then **freeze** each shard root
+//!    in ascending order — backing the window out and re-copying if a
+//!    concurrent per-key update moved a root — and finally install all
+//!    new roots. Freezing (see
+//!    [`pathcopy_core::VersionCell::try_freeze`]) makes concurrent reads
+//!    of the involved shards spin for the handful of CASes the install
+//!    window lasts, which is precisely what makes the whole batch flip
+//!    atomically: no reader, per-key writer, or
+//!    [`ShardedTreapMap::snapshot_all`] can observe some shards
+//!    post-batch and others pre-batch.
+//!
+//! Within a batch, operations apply in order: a [`BatchOp::Get`] after a
+//! [`BatchOp::Insert`] of the same key sees the inserted value. Across
+//! threads the whole batch is one linearizable operation.
+//!
+//! ```
+//! use pathcopy_concurrent::{BatchOp, BatchResult, ShardedTreapMap};
+//!
+//! let m: ShardedTreapMap<&'static str, i64> = ShardedTreapMap::with_shards(8);
+//! m.insert("alice", 100);
+//! m.insert("bob", 0);
+//!
+//! // Move 30 from alice to bob atomically, whatever shards they hash to.
+//! let results = m.transact(&[
+//!     BatchOp::Insert("alice", 70),
+//!     BatchOp::Insert("bob", 30),
+//!     BatchOp::Get("alice"),
+//! ]);
+//! assert_eq!(results[0], BatchResult::Inserted(Some(100)));
+//! assert_eq!(results[1], BatchResult::Inserted(Some(0)));
+//! assert_eq!(results[2], BatchResult::Got(Some(70))); // sees the batch's own write
+//! ```
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use pathcopy_core::Update;
+use pathcopy_trees::TreapMap as PTreapMap;
+
+use crate::sharded::{shard_index, ShardedTreapMap};
+
+/// One operation inside a [`ShardedTreapMap::transact`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp<K, V> {
+    /// Read the value at a key (at the batch's linearization point,
+    /// seeing earlier writes of the same batch).
+    Get(K),
+    /// Insert or overwrite a key.
+    Insert(K, V),
+    /// Remove a key.
+    Remove(K),
+    /// Compare-and-set one key: if the current value equals `expected`,
+    /// store `new` (`None` removes the key); otherwise leave it alone.
+    Cas {
+        /// The key to compare and set.
+        key: K,
+        /// Value the key must currently hold (`None` = absent).
+        expected: Option<V>,
+        /// Value to store on match (`None` removes the key).
+        new: Option<V>,
+    },
+}
+
+impl<K, V> BatchOp<K, V> {
+    fn key(&self) -> &K {
+        match self {
+            BatchOp::Get(k) | BatchOp::Remove(k) | BatchOp::Insert(k, _) => k,
+            BatchOp::Cas { key, .. } => key,
+        }
+    }
+}
+
+/// Per-operation outcome of a [`ShardedTreapMap::transact`] batch, in
+/// batch order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchResult<V> {
+    /// Result of a [`BatchOp::Get`]: the value, if present.
+    Got(Option<V>),
+    /// Result of a [`BatchOp::Insert`]: the previous value, if any.
+    Inserted(Option<V>),
+    /// Result of a [`BatchOp::Remove`]: the removed value, if any.
+    Removed(Option<V>),
+    /// Result of a [`BatchOp::Cas`]: whether the comparison matched and
+    /// the write was applied.
+    Cas(bool),
+}
+
+/// Applies a shard's slice of the batch (op indices `idxs`, in batch
+/// order) to `map`, returning the new version, the per-op results, and
+/// whether anything structurally changed.
+fn apply_shard_ops<K, V>(
+    map: &PTreapMap<K, V>,
+    batch: &[BatchOp<K, V>],
+    idxs: &[usize],
+) -> (PTreapMap<K, V>, Vec<BatchResult<V>>, bool)
+where
+    K: Ord + Clone + Hash,
+    V: Clone + PartialEq,
+{
+    let mut cur = map.clone();
+    let mut changed = false;
+    let mut results = Vec::with_capacity(idxs.len());
+    for &i in idxs {
+        let result = match &batch[i] {
+            BatchOp::Get(k) => BatchResult::Got(cur.get(k).cloned()),
+            BatchOp::Insert(k, v) => {
+                let (next, prev) = cur.insert(k.clone(), v.clone());
+                cur = next;
+                changed = true;
+                BatchResult::Inserted(prev)
+            }
+            BatchOp::Remove(k) => match cur.remove(k) {
+                Some((next, v)) => {
+                    cur = next;
+                    changed = true;
+                    BatchResult::Removed(Some(v))
+                }
+                None => BatchResult::Removed(None),
+            },
+            BatchOp::Cas { key, expected, new } => {
+                if cur.get(key) == expected.as_ref() {
+                    match new {
+                        Some(v) => {
+                            let (next, _) = cur.insert(key.clone(), v.clone());
+                            cur = next;
+                            changed = true;
+                        }
+                        None => {
+                            if let Some((next, _)) = cur.remove(key) {
+                                cur = next;
+                                changed = true;
+                            }
+                        }
+                    }
+                    BatchResult::Cas(true)
+                } else {
+                    BatchResult::Cas(false)
+                }
+            }
+        };
+        results.push(result);
+    }
+    (cur, results, changed)
+}
+
+impl<K, V> ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + PartialEq + Send + Sync,
+{
+    /// Atomically applies a batch of operations that may span shards,
+    /// returning one [`BatchResult`] per op, in batch order.
+    ///
+    /// The whole batch is a single linearizable operation: no concurrent
+    /// reader, per-key writer, or [`snapshot_all`](Self::snapshot_all)
+    /// ever observes it partially applied. Operations inside the batch
+    /// apply in order, so later ops see earlier ops' writes (including
+    /// across a [`BatchOp::Cas`] on the same key).
+    ///
+    /// Cost model (the regime the paper predicts path copying wins):
+    ///
+    /// * batch touching **one shard** — the ordinary lock-free CAS loop,
+    ///   a single root install for the whole batch;
+    /// * batch touching **`k` shards** — ascending-order acquisition of
+    ///   `k` commit locks (contended only by other multi-shard batches),
+    ///   speculative path-copying of `k` new roots, then a freeze +
+    ///   install window of `2k` atomic operations during which reads of
+    ///   the involved shards briefly spin.
+    ///
+    /// A failed [`BatchOp::Cas`] does not abort the batch; it simply
+    /// reports `Cas(false)` while the rest of the batch commits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pathcopy_concurrent::{BatchOp, BatchResult, ShardedTreapMap};
+    ///
+    /// let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(4);
+    /// let r = m.transact(&[
+    ///     BatchOp::Insert(1, 10),
+    ///     BatchOp::Insert(2, 20),
+    ///     BatchOp::Cas { key: 1, expected: Some(10), new: Some(11) },
+    ///     BatchOp::Remove(3),
+    /// ]);
+    /// assert_eq!(
+    ///     r,
+    ///     vec![
+    ///         BatchResult::Inserted(None),
+    ///         BatchResult::Inserted(None),
+    ///         BatchResult::Cas(true),
+    ///         BatchResult::Removed(None),
+    ///     ]
+    /// );
+    /// ```
+    pub fn transact(&self, batch: &[BatchOp<K, V>]) -> Vec<BatchResult<V>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase 0: group op indices by shard, preserving batch order
+        // within each shard. BTreeMap iteration gives ascending shard
+        // indices, which is the global lock/freeze order.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, op) in batch.iter().enumerate() {
+            groups
+                .entry(shard_index(op.key(), self.mask))
+                .or_default()
+                .push(i);
+        }
+
+        if groups.len() == 1 {
+            // Fast path: the batch lives in one shard, so it is just one
+            // sequential composite update — plain lock-free CAS loop.
+            let (&shard, idxs) = groups.iter().next().unwrap();
+            return self.shards[shard].update(|map| {
+                let (next, results, changed) = apply_shard_ops(map, batch, idxs);
+                if changed {
+                    Update::Replace(next, results)
+                } else {
+                    Update::Keep(results)
+                }
+            });
+        }
+
+        // Read-only multi-shard batch: no roots change, so consistency
+        // needs no locks and no freezing — a validated double scan over
+        // just the involved shards (the `snapshot_all` idiom, sharded.rs)
+        // yields a stable cut without blocking anyone.
+        if batch.iter().all(|op| matches!(op, BatchOp::Get(_))) {
+            let involved: Vec<usize> = groups.keys().copied().collect();
+            let mut pass: Vec<Arc<PTreapMap<K, V>>> = involved
+                .iter()
+                .map(|&i| self.shards[i].snapshot())
+                .collect();
+            loop {
+                let mut stable = true;
+                for (j, &i) in involved.iter().enumerate() {
+                    if !self.shards[i].is_current_version(&pass[j]) {
+                        pass[j] = self.shards[i].snapshot();
+                        stable = false;
+                    }
+                }
+                if stable {
+                    break;
+                }
+            }
+            let mut out: Vec<Option<BatchResult<V>>> = vec![None; batch.len()];
+            for (j, idxs) in groups.values().enumerate() {
+                let (_, results, _) = apply_shard_ops(&pass[j], batch, idxs);
+                for (&i, r) in idxs.iter().zip(results) {
+                    out[i] = Some(r);
+                }
+            }
+            return out
+                .into_iter()
+                .map(|r| r.expect("every op resolved"))
+                .collect();
+        }
+
+        // Phase 1: exclude rival multi-shard commits on any overlapping
+        // shard, in ascending order (deadlock-free).
+        let _guards: Vec<_> = groups
+            .keys()
+            .map(|&shard| self.commit_locks[shard].lock())
+            .collect();
+
+        // Phase 2: speculatively path-copy each involved shard's new root
+        // from its current version. Per-key updates may still move a root
+        // under us; that is caught and repaired at freeze time.
+        let mut staged: Vec<ShardStage<'_, K, V>> = groups
+            .iter()
+            .map(|(&shard, idxs)| {
+                let base = self.shards[shard].snapshot();
+                let (next, results, changed) = apply_shard_ops(&base, batch, idxs);
+                ShardStage {
+                    shard,
+                    idxs,
+                    base,
+                    next,
+                    results,
+                    changed,
+                }
+            })
+            .collect();
+
+        // Phase 3: freeze every involved root in ascending order. A
+        // freeze fails only if a per-key update moved that root since we
+        // copied it; when that happens, back the whole window out
+        // (unfreeze everything frozen so far), rebuild that shard's
+        // stage, and start the pass over. Two invariants fall out:
+        //
+        // * the frozen window is always exactly one freeze+install pass
+        //   (2k atomic operations) — readers never spin while a rebuild
+        //   runs, however contended the shards are;
+        // * no user code (`K`/`V` `Ord`/`Clone`/`PartialEq`) ever runs
+        //   while any root is frozen, so a panic in user code can unwind
+        //   through `transact` without wedging the map behind a leaked
+        //   freeze tag.
+        //
+        // Each restart is caused by a per-key update that committed, so
+        // the system as a whole stays lock-free.
+        'freeze: loop {
+            for j in 0..staged.len() {
+                if let Err(current) = self.shards[staged[j].shard].try_freeze_root(&staged[j].base)
+                {
+                    for prior in &staged[..j] {
+                        self.shards[prior.shard].unfreeze_root();
+                    }
+                    let (next, results, changed) = apply_shard_ops(&current, batch, staged[j].idxs);
+                    let stage = &mut staged[j];
+                    stage.base = current;
+                    stage.next = next;
+                    stage.results = results;
+                    stage.changed = changed;
+                    continue 'freeze;
+                }
+            }
+            break;
+        }
+
+        // Phase 4: install. All involved roots are frozen, so no read of
+        // any of them completes until its install below — the batch
+        // becomes visible everywhere at once.
+        let mut out: Vec<Option<BatchResult<V>>> = (0..batch.len()).map(|_| None).collect();
+        for stage in staged {
+            let uc = &self.shards[stage.shard];
+            if stage.changed {
+                uc.install_frozen_root(stage.next);
+            } else {
+                uc.unfreeze_root();
+            }
+            for (&i, r) in stage.idxs.iter().zip(stage.results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every op resolved"))
+            .collect()
+    }
+}
+
+/// Per-shard staging area for a multi-shard commit.
+struct ShardStage<'a, K, V> {
+    shard: usize,
+    idxs: &'a [usize],
+    /// The version the new root was copied from; must still be current
+    /// at freeze time.
+    base: Arc<PTreapMap<K, V>>,
+    next: PTreapMap<K, V>,
+    results: Vec<BatchResult<V>>,
+    changed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(4);
+        assert!(m.transact(&[]).is_empty());
+        assert_eq!(m.stats_snapshot().ops, 0);
+    }
+
+    #[test]
+    fn batch_ops_apply_in_order_within_and_across_shards() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(8);
+        let r = m.transact(&[
+            BatchOp::Insert(1, 10),
+            BatchOp::Get(1),
+            BatchOp::Insert(1, 11),
+            BatchOp::Get(1),
+            BatchOp::Remove(2),
+            BatchOp::Insert(2, 20),
+            BatchOp::Remove(2),
+        ]);
+        assert_eq!(
+            r,
+            vec![
+                BatchResult::Inserted(None),
+                BatchResult::Got(Some(10)),
+                BatchResult::Inserted(Some(10)),
+                BatchResult::Got(Some(11)),
+                BatchResult::Removed(None),
+                BatchResult::Inserted(None),
+                BatchResult::Removed(Some(20)),
+            ]
+        );
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.get(&2), None);
+    }
+
+    #[test]
+    fn cas_applies_only_on_match_and_sees_batch_writes() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(8);
+        m.insert(7, 70);
+        let r = m.transact(&[
+            BatchOp::Cas {
+                key: 7,
+                expected: Some(69),
+                new: Some(0),
+            },
+            BatchOp::Cas {
+                key: 7,
+                expected: Some(70),
+                new: Some(71),
+            },
+            BatchOp::Cas {
+                key: 7,
+                expected: Some(71),
+                new: None,
+            },
+            BatchOp::Cas {
+                key: 8,
+                expected: None,
+                new: Some(80),
+            },
+        ]);
+        assert_eq!(
+            r,
+            vec![
+                BatchResult::Cas(false),
+                BatchResult::Cas(true),
+                BatchResult::Cas(true),
+                BatchResult::Cas(true),
+            ]
+        );
+        assert_eq!(m.get(&7), None);
+        assert_eq!(m.get(&8), Some(80));
+    }
+
+    #[test]
+    fn read_only_multi_shard_batch_installs_nothing() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(8);
+        for k in 0..64 {
+            m.insert(k, k);
+        }
+        let before = m.stats_snapshot();
+        let r = m.transact(&(0..64).map(BatchOp::Get).collect::<Vec<_>>());
+        for (k, res) in r.into_iter().enumerate() {
+            assert_eq!(res, BatchResult::Got(Some(k as u64)));
+        }
+        let after = m.stats_snapshot();
+        assert_eq!(
+            after.frozen_installs, before.frozen_installs,
+            "pure-read batch must not install any root"
+        );
+    }
+
+    #[test]
+    fn single_shard_batch_takes_the_lock_free_cas_path() {
+        // One shard: every batch is single-shard by construction, so the
+        // freeze hook must never fire and the plain CAS loop must count
+        // the op.
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(1);
+        let r = m.transact(&[
+            BatchOp::Insert(1, 1),
+            BatchOp::Insert(2, 2),
+            BatchOp::Get(1),
+        ]);
+        assert_eq!(r[2], BatchResult::Got(Some(1)));
+        let stats = m.stats_snapshot();
+        assert_eq!(stats.frozen_installs, 0, "single-shard batch froze a root");
+        assert_eq!(stats.ops, 1, "the batch is one CAS-loop op");
+    }
+
+    #[test]
+    fn multi_shard_batch_goes_through_the_freeze_hook() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(16);
+        // 64 spread-out keys certainly span >= 2 shards.
+        let batch: Vec<_> = (0..64).map(|k| BatchOp::Insert(k, k)).collect();
+        m.transact(&batch);
+        let stats = m.stats_snapshot();
+        assert!(
+            stats.frozen_installs >= 2,
+            "cross-shard batch must install via the freeze hook (got {})",
+            stats.frozen_installs
+        );
+        for k in 0..64 {
+            assert_eq!(m.get(&k), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_batches_all_commit() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(8);
+        const THREADS: u64 = 8;
+        const BATCHES: u64 = 50;
+        const SPAN: u64 = 16;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = &m;
+                s.spawn(move || {
+                    for b in 0..BATCHES {
+                        let base = (t * BATCHES + b) * SPAN;
+                        let batch: Vec<_> =
+                            (base..base + SPAN).map(|k| BatchOp::Insert(k, k)).collect();
+                        for r in m.transact(&batch) {
+                            assert_eq!(r, BatchResult::Inserted(None));
+                        }
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot_all();
+        assert_eq!(snap.len(), (THREADS * BATCHES * SPAN) as usize);
+    }
+
+    #[test]
+    fn batches_interleaved_with_per_key_ops_lose_nothing() {
+        // Writers hammer per-key inserts on even keys while a transactor
+        // commits cross-shard batches on odd keys; both must fully land.
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(8);
+        const N: u64 = 4_000;
+        std::thread::scope(|s| {
+            let m_ref = &m;
+            s.spawn(move || {
+                for k in (0..N).step_by(2) {
+                    assert_eq!(m_ref.insert(k, k), None);
+                }
+            });
+            s.spawn(move || {
+                for chunk in (1..N).step_by(2).collect::<Vec<_>>().chunks(8) {
+                    let batch: Vec<_> = chunk.iter().map(|&k| BatchOp::Insert(k, k)).collect();
+                    m_ref.transact(&batch);
+                }
+            });
+        });
+        let snap = m.snapshot_all();
+        assert_eq!(snap.len(), N as usize);
+        assert!(snap.to_sorted_vec().iter().map(|(k, _)| *k).eq(0..N));
+    }
+}

@@ -6,11 +6,14 @@
 //!
 //! All structures are linearizable; updates are lock-free, reads are
 //! wait-free, and `snapshot()` returns an immutable point-in-time view in
-//! O(1) that never blocks writers.
+//! O(1) that never blocks writers. (On the *sharded* structures, reads of
+//! a shard briefly spin while a cross-shard batch is mid-install there —
+//! see [`batch`] — so the batch becomes visible everywhere at once.)
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod composite;
 pub mod ebst_set;
 pub mod locked;
@@ -19,10 +22,11 @@ pub mod sharded;
 pub mod treap_map;
 pub mod treap_set;
 
+pub use batch::{BatchOp, BatchResult};
 pub use composite::Composite;
 pub use ebst_set::ExternalBstSet;
 pub use locked::{LockedTreapSet, RwLockedTreapSet};
 pub use more::{AvlSet, Queue, RbSet, Stack};
 pub use sharded::{ShardedSnapshot, ShardedTreapMap};
 pub use treap_map::TreapMap;
-pub use treap_set::TreapSet;
+pub use treap_set::{ShardedSetSnapshot, ShardedTreapSet, TreapSet};

@@ -17,7 +17,10 @@
 //!   remain linearizable: a key lives in exactly one shard, and that
 //!   shard is a plain path-copying UC.
 //! * **Per-shard snapshots** ([`ShardedTreapMap::snapshot_shard`]) remain
-//!   O(1) and wait-free.
+//!   O(1), and wait-free except while a cross-shard
+//!   [`transact`](ShardedTreapMap::transact) is mid-install on the shard
+//!   (a window of a few atomic operations, during which reads of the
+//!   involved shards briefly spin so the batch flips atomically).
 //! * **Whole-map snapshots** ([`ShardedTreapMap::snapshot_all`]) need a
 //!   validated double scan over the shard roots: the scan retries until
 //!   it observes every root unchanged across two passes, which proves a
@@ -35,6 +38,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
 use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, Update};
 use pathcopy_trees::hash::splitmix64;
 use pathcopy_trees::TreapMap as PTreapMap;
@@ -59,21 +63,27 @@ use pathcopy_trees::TreapMap as PTreapMap;
 /// assert_eq!(snap.len(), 2);
 /// ```
 pub struct ShardedTreapMap<K, V> {
-    shards: Box<[Shard<K, V>]>,
+    pub(crate) shards: Box<[Shard<K, V>]>,
     /// `shards.len() - 1`; shard count is always a power of two.
-    mask: u64,
+    pub(crate) mask: u64,
+    /// Per-shard commit locks for cross-shard batch transactions
+    /// ([`ShardedTreapMap::transact`]): a multi-shard commit acquires the
+    /// locks of its shards in ascending index order (deadlock-free) to
+    /// exclude rival multi-shard commits. Per-key operations and
+    /// single-shard batches never touch these locks.
+    pub(crate) commit_locks: Box<[CachePadded<Mutex<()>>]>,
 }
 
 /// One shard: a cache-padded single-root UC, so neighbouring `Root_Ptr`
 /// registers never share a line (the whole point is independent CAS
 /// targets).
-type Shard<K, V> = CachePadded<PathCopyUc<PTreapMap<K, V>>>;
+pub(crate) type Shard<K, V> = CachePadded<PathCopyUc<PTreapMap<K, V>>>;
 
 /// Salt folded into the shard hash so shard choice is decorrelated from
 /// the treap priority (which is also derived from the key's hash).
 const SHARD_SALT: u64 = 0x9e6c_63d0_876a_46b1;
 
-fn shard_index<K: Hash + ?Sized>(key: &K, mask: u64) -> usize {
+pub(crate) fn shard_index<K: Hash + ?Sized>(key: &K, mask: u64) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (splitmix64(h.finish() ^ SHARD_SALT) & mask) as usize
@@ -110,9 +120,14 @@ where
             .map(|_| CachePadded::new(PathCopyUc::with_backoff(PTreapMap::new(), backoff)))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let commit_locks = (0..n)
+            .map(|_| CachePadded::new(Mutex::new(())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         ShardedTreapMap {
             shards,
             mask: (n - 1) as u64,
+            commit_locks,
         }
     }
 
@@ -176,12 +191,15 @@ where
         })
     }
 
-    /// Looks up `key`, cloning the value. Wait-free.
+    /// Looks up `key`, cloning the value. Wait-free, except that it
+    /// briefly spins if a cross-shard [`transact`](Self::transact) is
+    /// mid-install on the owning shard.
     pub fn get(&self, key: &K) -> Option<V> {
         self.shard_for(key).read(|map| map.get(key).cloned())
     }
 
-    /// `true` if `key` is present. Wait-free.
+    /// `true` if `key` is present. Wait-free, with the same
+    /// mid-install caveat as [`get`](Self::get).
     pub fn contains_key(&self, key: &K) -> bool {
         self.shard_for(key).read(|map| map.contains_key(key))
     }
@@ -200,7 +218,8 @@ where
         self.shards.iter().all(|s| s.read(|m| m.is_empty()))
     }
 
-    /// O(1) wait-free snapshot of the single shard owning `key`.
+    /// O(1) snapshot of the single shard owning `key` (wait-free, with
+    /// the mid-install caveat of [`get`](Self::get)).
     ///
     /// All operations on keys that hash to this shard are linearizable
     /// against the returned version; keys of other shards are absent.
@@ -208,7 +227,8 @@ where
         self.shard_for(key).snapshot()
     }
 
-    /// O(1) wait-free snapshot of shard `index`.
+    /// O(1) snapshot of shard `index` (wait-free, with the mid-install
+    /// caveat of [`get`](Self::get)).
     ///
     /// # Panics
     ///
@@ -258,6 +278,7 @@ where
             merged.cas_failures += s.cas_failures;
             merged.noop_updates += s.noop_updates;
             merged.reads += s.reads;
+            merged.frozen_installs += s.frozen_installs;
             for (acc, v) in merged.attempt_hist.iter_mut().zip(s.attempt_hist) {
                 *acc += v;
             }

@@ -1,15 +1,25 @@
-//! Lock-free concurrent ordered set: the paper's benchmark subject.
+//! Lock-free concurrent ordered set: the paper's benchmark subject —
+//! plus its sharded, batch-capable big sibling.
 //!
 //! [`TreapSet`] applies the path-copying universal construction to the
 //! persistent treap of `pathcopy-trees`. Every operation is linearizable;
 //! updates are lock-free; reads are wait-free and never interfere with
 //! writers.
+//!
+//! [`ShardedTreapSet`] is the set front-end over the sharded map
+//! ([`crate::ShardedTreapMap`]): per-key operations contend only within
+//! one shard, [`ShardedTreapSet::snapshot_all`] yields a coherent cut,
+//! and the `*_batch` operations commit atomically even when the keys
+//! span shards (see [`crate::ShardedTreapMap::transact`]).
 
 use std::hash::Hash;
 use std::sync::Arc;
 
-use pathcopy_core::{BackoffPolicy, PathCopyUc, UcStats, Update, UpdateReport};
+use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, UcStats, Update, UpdateReport};
 use pathcopy_trees::treap;
+
+use crate::batch::{BatchOp, BatchResult};
+use crate::sharded::{ShardedSnapshot, ShardedTreapMap};
 
 /// A lock-free concurrent ordered set backed by a persistent treap.
 ///
@@ -139,6 +149,179 @@ impl<K: Ord + Clone + Hash + Send + Sync> TreapSet<K> {
     }
 }
 
+/// A sharded lock-free concurrent set with atomic cross-shard batches:
+/// the set front-end of [`ShardedTreapMap`].
+///
+/// Keys are hash-partitioned across `N` independent path-copying UC
+/// roots, so inserts of different shards never contend. On top of the
+/// per-key operations it offers:
+///
+/// * [`snapshot_all`](Self::snapshot_all) — a coherent point-in-time cut
+///   of the whole set;
+/// * [`insert_batch`](Self::insert_batch) /
+///   [`remove_batch`](Self::remove_batch) /
+///   [`contains_batch`](Self::contains_batch) — each batch commits (or
+///   reads) as **one linearizable operation**, even when its keys span
+///   shards; no concurrent observer ever sees it half-applied.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_concurrent::ShardedTreapSet;
+///
+/// let s: ShardedTreapSet<u64> = ShardedTreapSet::with_shards(8);
+/// // Insert three keys atomically — all-or-nothing visibility, even
+/// // though they hash to different shards:
+/// assert_eq!(s.insert_batch(&[1, 2, 3]), vec![true, true, true]);
+/// assert!(s.contains(&2));
+///
+/// let snap = s.snapshot_all();
+/// s.remove_batch(&[1, 2, 3]);
+/// assert_eq!(snap.len(), 3); // the cut is immutable
+/// assert!(s.is_empty());
+/// ```
+pub struct ShardedTreapSet<K> {
+    map: ShardedTreapMap<K, ()>,
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> Default for ShardedTreapSet<K> {
+    /// An 8-shard set; see [`ShardedTreapSet::with_shards`] to choose.
+    fn default() -> Self {
+        Self::with_shards(8)
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> ShardedTreapSet<K> {
+    /// Creates an empty set with `shards` partitions (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedTreapSet {
+            map: ShardedTreapMap::with_shards(shards),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.map.shard_count()
+    }
+
+    /// Inserts `key`; `true` if the set changed. Lock-free, contends
+    /// only within the owning shard.
+    pub fn insert(&self, key: K) -> bool {
+        self.map.insert_if_absent(key, ())
+    }
+
+    /// Removes `key`; `true` if the set changed.
+    pub fn remove(&self, key: &K) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// `true` if `key` is present. Wait-free, except that it briefly
+    /// spins if a cross-shard batch is mid-install on the owning shard.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Total number of keys (weakly consistent under concurrent updates,
+    /// like [`ShardedTreapMap::len`]).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if every shard is empty (weakly consistent).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Atomically inserts every key, returning for each (in order)
+    /// whether it was newly inserted. The whole batch becomes visible at
+    /// once, even across shards; a duplicate key later in the same batch
+    /// reports `false`.
+    pub fn insert_batch(&self, keys: &[K]) -> Vec<bool> {
+        let ops: Vec<_> = keys
+            .iter()
+            .map(|k| BatchOp::Insert(k.clone(), ()))
+            .collect();
+        self.map
+            .transact(&ops)
+            .into_iter()
+            .map(|r| matches!(r, BatchResult::Inserted(None)))
+            .collect()
+    }
+
+    /// Atomically removes every key, returning for each (in order)
+    /// whether it was present. All-or-nothing visibility across shards.
+    pub fn remove_batch(&self, keys: &[K]) -> Vec<bool> {
+        let ops: Vec<_> = keys.iter().map(|k| BatchOp::Remove(k.clone())).collect();
+        self.map
+            .transact(&ops)
+            .into_iter()
+            .map(|r| matches!(r, BatchResult::Removed(Some(()))))
+            .collect()
+    }
+
+    /// Membership of every key at one single linearization point — a
+    /// consistent multi-key read, unlike `N` separate
+    /// [`contains`](Self::contains) calls.
+    pub fn contains_batch(&self, keys: &[K]) -> Vec<bool> {
+        let ops: Vec<_> = keys.iter().map(|k| BatchOp::Get(k.clone())).collect();
+        self.map
+            .transact(&ops)
+            .into_iter()
+            .map(|r| matches!(r, BatchResult::Got(Some(()))))
+            .collect()
+    }
+
+    /// A coherent point-in-time snapshot of the whole set (see
+    /// [`ShardedTreapMap::snapshot_all`]).
+    pub fn snapshot_all(&self) -> ShardedSetSnapshot<K> {
+        ShardedSetSnapshot {
+            inner: self.map.snapshot_all(),
+        }
+    }
+
+    /// Merged attempt/retry statistics across all shards.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.map.stats_snapshot()
+    }
+}
+
+/// An immutable, coherent point-in-time view of a [`ShardedTreapSet`].
+pub struct ShardedSetSnapshot<K> {
+    inner: ShardedSnapshot<K, ()>,
+}
+
+impl<K: Ord + Clone + Hash> ShardedSetSnapshot<K> {
+    /// `true` if `key` was present at snapshot time.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Exact number of keys at snapshot time.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if the set was empty at snapshot time.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterates every key, shard by shard (ordered within a shard,
+    /// unordered across shards).
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.inner.iter().map(|(k, ())| k)
+    }
+
+    /// Collects all keys in global order (the cross-shard merge hash
+    /// partitioning makes necessary).
+    pub fn to_sorted_vec(&self) -> Vec<K> {
+        let mut out: Vec<K> = self.iter().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +439,61 @@ mod tests {
         let r = s.insert_reported(1);
         assert!(!r.result);
         assert!(r.was_noop);
+    }
+
+    #[test]
+    fn sharded_set_semantics() {
+        let s: ShardedTreapSet<i64> = ShardedTreapSet::with_shards(4);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(&1));
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sharded_set_batches_report_per_key_outcomes() {
+        let s: ShardedTreapSet<i64> = ShardedTreapSet::with_shards(8);
+        assert_eq!(s.insert_batch(&[1, 2, 2, 3]), vec![true, true, false, true]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.contains_batch(&[1, 2, 3, 4]),
+            vec![true, true, true, false]
+        );
+        assert_eq!(s.remove_batch(&[2, 4, 3]), vec![true, false, true]);
+        assert_eq!(s.snapshot_all().to_sorted_vec(), vec![1]);
+    }
+
+    #[test]
+    fn sharded_set_snapshot_is_immutable() {
+        let s: ShardedTreapSet<i64> = ShardedTreapSet::with_shards(8);
+        s.insert_batch(&(0..100).collect::<Vec<_>>());
+        let snap = s.snapshot_all();
+        s.remove_batch(&(0..100).collect::<Vec<_>>());
+        assert!(s.is_empty());
+        assert_eq!(snap.len(), 100);
+        assert!(snap.to_sorted_vec().iter().copied().eq(0..100));
+        assert!(snap.contains(&42));
+    }
+
+    #[test]
+    fn sharded_set_concurrent_batches_are_atomic_units() {
+        // Each thread inserts then removes its whole disjoint block as
+        // one batch; any torn batch leaves strays behind.
+        let s: ShardedTreapSet<i64> = ShardedTreapSet::with_shards(8);
+        std::thread::scope(|sc| {
+            for t in 0..4i64 {
+                let s = &s;
+                sc.spawn(move || {
+                    let block: Vec<i64> = (t * 64..(t + 1) * 64).collect();
+                    for _ in 0..20 {
+                        assert!(s.insert_batch(&block).into_iter().all(|b| b));
+                        assert!(s.remove_batch(&block).into_iter().all(|b| b));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot_all().len(), 0);
     }
 }

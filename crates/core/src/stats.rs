@@ -25,6 +25,7 @@ pub struct UcStats {
     cas_failures: CachePadded<AtomicU64>,
     noop_updates: CachePadded<AtomicU64>,
     reads: CachePadded<AtomicU64>,
+    frozen_installs: CachePadded<AtomicU64>,
     /// `attempt_hist[k]` counts operations that needed exactly `k + 1`
     /// attempts (last bucket: `>= MAX_TRACKED_ATTEMPTS`).
     attempt_hist: Box<[AtomicU64]>,
@@ -49,6 +50,7 @@ impl UcStats {
             cas_failures: CachePadded::new(AtomicU64::new(0)),
             noop_updates: CachePadded::new(AtomicU64::new(0)),
             reads: CachePadded::new(AtomicU64::new(0)),
+            frozen_installs: CachePadded::new(AtomicU64::new(0)),
             attempt_hist: hist,
         }
     }
@@ -72,6 +74,12 @@ impl UcStats {
         self.reads.fetch_add(1, Relaxed);
     }
 
+    /// Records one root installed through the freeze hook (a
+    /// multi-object commit), as opposed to the plain CAS loop.
+    pub fn record_frozen_install(&self) {
+        self.frozen_installs.fetch_add(1, Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -80,6 +88,7 @@ impl UcStats {
             cas_failures: self.cas_failures.load(Relaxed),
             noop_updates: self.noop_updates.load(Relaxed),
             reads: self.reads.load(Relaxed),
+            frozen_installs: self.frozen_installs.load(Relaxed),
             attempt_hist: self.attempt_hist.iter().map(|c| c.load(Relaxed)).collect(),
         }
     }
@@ -91,6 +100,7 @@ impl UcStats {
         self.cas_failures.store(0, Relaxed);
         self.noop_updates.store(0, Relaxed);
         self.reads.store(0, Relaxed);
+        self.frozen_installs.store(0, Relaxed);
         for c in self.attempt_hist.iter() {
             c.store(0, Relaxed);
         }
@@ -110,6 +120,9 @@ pub struct StatsSnapshot {
     pub noop_updates: u64,
     /// Read-only operations.
     pub reads: u64,
+    /// Roots installed through the freeze hook (multi-object commits);
+    /// `0` means every update went through the plain lock-free CAS loop.
+    pub frozen_installs: u64,
     /// `attempt_hist[k]` = operations that took exactly `k + 1` attempts.
     pub attempt_hist: Vec<u64>,
 }
@@ -168,11 +181,13 @@ mod tests {
         let s = UcStats::new();
         s.record_update(2, false);
         s.record_read();
+        s.record_frozen_install();
         s.reset();
         let snap = s.snapshot();
         assert_eq!(snap.ops, 0);
         assert_eq!(snap.attempts, 0);
         assert_eq!(snap.reads, 0);
+        assert_eq!(snap.frozen_installs, 0);
         assert!(snap.attempt_hist.iter().all(|&c| c == 0));
     }
 

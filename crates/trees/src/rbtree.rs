@@ -1,7 +1,7 @@
 //! Persistent red–black tree.
 //!
 //! Insertion is Okasaki's classic four-case rebalancing (*Purely
-//! functional data structures*, the paper's [6]); deletion follows
+//! functional data structures*, the paper's \[6\]); deletion follows
 //! Germane & Might's "double-black / negative-black" method (*Deletion:
 //! the curse of the red-black tree*, JFP 2014), which keeps the algorithm
 //! purely functional — every update path-copies the search path plus

@@ -17,8 +17,23 @@
 //! * `--bench` (passed by cargo itself) and the common Criterion flags
 //!   that make no sense here (`--save-baseline`, `--baseline`,
 //!   `--noplot`, …) are accepted and ignored.
+//!
+//! # Machine-readable results
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! executed benchmark appends one JSON line to it:
+//!
+//! ```text
+//! {"id":"group/name/param","median_ns":123.4,"samples":10,"mode":"bench"}
+//! ```
+//!
+//! In `--test` mode the single smoke iteration is timed and recorded
+//! with `"mode":"test"` — noisy as an absolute number, but stable
+//! enough for CI to archive as a per-commit perf-trajectory artifact
+//! (see the bench-smoke job's `BENCH_ci.json`).
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -107,7 +122,17 @@ impl Criterion {
                 iters: 1,
                 elapsed: Duration::ZERO,
             };
+            let wall = Instant::now();
             f(&mut b);
+            let wall = wall.elapsed();
+            // Prefer the time the closure measured (per-iteration); fall
+            // back to wall clock for closures that never call `iter`.
+            let ns = if b.elapsed > Duration::ZERO {
+                b.elapsed.as_nanos() as f64
+            } else {
+                wall.as_nanos() as f64
+            };
+            emit_json(&id, ns, 1, "test");
             println!("Testing {id}: ok");
             self.ran += 1;
             return;
@@ -157,6 +182,15 @@ impl Criterion {
         }
         samples_ns.sort_by(|a, b| a.total_cmp(b));
         let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median = {
+            let n = samples_ns.len();
+            if n % 2 == 1 {
+                samples_ns[n / 2]
+            } else {
+                (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+            }
+        };
+        emit_json(&id, median, samples_ns.len(), "bench");
         let (lo, hi) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
         let mut line = String::new();
         let _ = write!(
@@ -168,6 +202,46 @@ impl Criterion {
         );
         println!("{line}");
         self.ran += 1;
+    }
+}
+
+/// Appends one JSON line per executed benchmark to the `BENCH_JSON`
+/// file, if set. Failures to write are reported but never fail a bench
+/// run.
+fn emit_json(id: &str, median_ns: f64, samples: usize, mode: &str) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    append_json_line(path.as_ref(), id, median_ns, samples, mode);
+}
+
+/// The `BENCH_JSON` line writer, separated from the env lookup so it is
+/// directly testable (mutating the process environment from tests races
+/// with concurrently running benchmarks reading it).
+fn append_json_line(path: &std::path::Path, id: &str, median_ns: f64, samples: usize, mode: &str) {
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{median_ns:.1},\"samples\":{samples},\"mode\":\"{mode}\"}}"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        eprintln!(
+            "criterion-shim: cannot append to BENCH_JSON={}: {e}",
+            path.display()
+        );
     }
 }
 
@@ -366,6 +440,40 @@ mod tests {
         }
         assert_eq!(calls, 1);
         assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn bench_json_lines_append_and_escape() {
+        // Exercises the writer directly: setting BENCH_JSON in the
+        // process environment would race with other tests' benchmarks
+        // reading it through emit_json.
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_bench_json_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        append_json_line(&path, "json/a", 12.34, 1, "test");
+        append_json_line(
+            &path,
+            "needs \"escaping\" \\ here",
+            1_000_000.0,
+            10,
+            "bench",
+        );
+
+        let contents = std::fs::read_to_string(&path).expect("BENCH_JSON file written");
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2, "one JSON line per benchmark: {contents}");
+        assert_eq!(
+            lines[0],
+            "{\"id\":\"json/a\",\"median_ns\":12.3,\"samples\":1,\"mode\":\"test\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"id\":\"needs \\\"escaping\\\" \\\\ here\",\"median_ns\":1000000.0,\
+             \"samples\":10,\"mode\":\"bench\"}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -76,6 +76,39 @@
 //! Compare the two yourself: `cargo bench --bench sharded_scaling` (or
 //! `cargo run --release --example sharded_demo`).
 //!
+//! ## Atomic cross-shard batch transactions
+//!
+//! Path copying makes a *batch* of updates just another sequential
+//! function from one persistent version to the next.
+//! [`transact`](prelude::ShardedTreapMap::transact) extends that to
+//! batches spanning shards: single-shard batches commit through the
+//! ordinary lock-free CAS loop, multi-shard batches through an ordered
+//! two-phase commit that freezes the involved roots so the whole batch
+//! flips atomically — no reader or `snapshot_all()` ever sees it
+//! half-applied. [`ShardedTreapSet`](prelude::ShardedTreapSet) is the
+//! set facade over the same machinery:
+//!
+//! ```
+//! use path_copying::prelude::{BatchOp, BatchResult, ShardedTreapMap, ShardedTreapSet};
+//!
+//! let m: ShardedTreapMap<&str, i64> = ShardedTreapMap::with_shards(8);
+//! m.insert("alice", 100);
+//! m.insert("bob", 0);
+//! // Atomic transfer across shards; the Get sees the batch's own writes.
+//! let r = m.transact(&[
+//!     BatchOp::Insert("alice", 70),
+//!     BatchOp::Insert("bob", 30),
+//!     BatchOp::Get("bob"),
+//! ]);
+//! assert_eq!(r[2], BatchResult::Got(Some(30)));
+//!
+//! let s: ShardedTreapSet<u64> = ShardedTreapSet::with_shards(8);
+//! assert_eq!(s.insert_batch(&[1, 2, 3]), vec![true, true, true]);
+//! ```
+//!
+//! See `cargo run --release --example batch_txn_demo` and
+//! `cargo bench --bench batch_txn`.
+//!
 //! ## Building and testing
 //!
 //! The workspace is self-contained — external dependencies are vendored
@@ -99,9 +132,10 @@ pub use pathcopy_workloads;
 /// One-line import for the common API.
 pub mod prelude {
     pub use pathcopy_concurrent::{
-        AvlSet as ConcurrentAvlSet, ExternalBstSet as ConcurrentExternalBstSet, LockedTreapSet,
-        Queue, RbSet as ConcurrentRbSet, RwLockedTreapSet, ShardedSnapshot, ShardedTreapMap, Stack,
-        TreapMap, TreapSet,
+        AvlSet as ConcurrentAvlSet, BatchOp, BatchResult,
+        ExternalBstSet as ConcurrentExternalBstSet, LockedTreapSet, Queue,
+        RbSet as ConcurrentRbSet, RwLockedTreapSet, ShardedSetSnapshot, ShardedSnapshot,
+        ShardedTreapMap, ShardedTreapSet, Stack, TreapMap, TreapSet,
     };
     pub use pathcopy_core::{
         BackoffPolicy, MutexUc, PathCopyUc, RwLockUc, SeqUc, Update, VersionCell,
