@@ -1,0 +1,79 @@
+//! Lazy snapshot iteration vs. eager materialization, across every map
+//! backend through the generic registry.
+//!
+//! Before the trait redesign, range reads went through APIs like
+//! `range_to_vec` that clone the whole window into a `Vec` before the
+//! caller sees the first entry. `Snapshot::range` iterates the
+//! persistent tree directly: `lazy_range` measures that, `materialize`
+//! measures the collect-then-scan pattern it replaces, and `lazy_first_10`
+//! shows the real payoff — early exit pays only for what it consumes.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcopy_concurrent::registry::{for_each_map_backend, MapBackendDriver};
+use pathcopy_core::api::{ConcurrentMap, MapSnapshot, Snapshottable};
+
+const PREFILL: i64 = 20_000;
+const WINDOW: std::ops::Range<i64> = 5_000..15_000;
+
+struct ScanDriver<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl MapBackendDriver for ScanDriver<'_> {
+    fn drive<M>(&mut self, name: &str, make: fn() -> M)
+    where
+        M: ConcurrentMap<i64, i64> + Snapshottable,
+        M::Snapshot: MapSnapshot<i64, i64>,
+    {
+        let map = make();
+        for k in 0..PREFILL {
+            map.insert(k, k * 2);
+        }
+        let snap = Snapshottable::snapshot(&map);
+
+        let mut group = self.criterion.benchmark_group("snapshot_scan");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(800));
+        group.warm_up_time(Duration::from_millis(150));
+
+        group.bench_function(BenchmarkId::new(name, "lazy_range"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for (k, v) in snap.range(WINDOW) {
+                    acc += *k + *v;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new(name, "materialize"), |b| {
+            b.iter(|| {
+                // The pre-redesign pattern: copy the window out first.
+                let window: Vec<(i64, i64)> = snap.range(WINDOW).map(|(k, v)| (*k, *v)).collect();
+                let mut acc = 0i64;
+                for (k, v) in &window {
+                    acc += k + v;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new(name, "lazy_first_10"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for (k, _) in snap.range(WINDOW).take(10) {
+                    acc += *k;
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_snapshot_scan(c: &mut Criterion) {
+    for_each_map_backend(&mut ScanDriver { criterion: c });
+}
+
+criterion_group!(benches, bench_snapshot_scan);
+criterion_main!(benches);

@@ -1,64 +1,55 @@
 //! A4 ablation as a Criterion bench: the lock-free UC against the
-//! intro's lock-based universal constructions, same persistent treap
-//! underneath.
+//! intro's lock-based universal constructions (and every other set
+//! backend), same persistent structures underneath.
+//!
+//! Backends come from the shared registry
+//! ([`pathcopy_concurrent::registry::set_backends`]), so a new backend
+//! shows up here without touching this file.
 
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathcopy_bench::measure::run_concurrent;
-use pathcopy_bench::sets::{prefill_treap, ConcurrentSet};
-use pathcopy_concurrent::{LockedTreapSet, RwLockedTreapSet, TreapSet};
+use pathcopy_concurrent::registry::set_backends;
+use pathcopy_core::ConcurrentSet;
 use pathcopy_workloads::BatchWorkload;
 
-const PREFILL: usize = 20_000;
-const KEYS: usize = 4_000;
+const PREFILL: usize = 5_000;
+const KEYS: usize = 2_000;
+const THREADS: usize = 2;
 
-fn run<S: ConcurrentSet>(set: &S, workload: &BatchWorkload, threads: usize) -> Duration {
+fn run(set: &dyn ConcurrentSet<i64>, workload: &BatchWorkload) -> Duration {
     let mut streams = workload.streams();
-    streams.truncate(threads);
+    streams.truncate(THREADS);
     let start = Instant::now();
     run_concurrent(set, streams, Duration::from_millis(100));
     start.elapsed()
 }
 
 fn bench_uc_vs_locks(c: &mut Criterion) {
-    let workload = BatchWorkload::generate(2, PREFILL, KEYS, 42);
-    let prefill = prefill_treap(&workload.prefill);
+    let workload = BatchWorkload::generate(THREADS, PREFILL, KEYS, 42);
 
     let mut group = c.benchmark_group("uc_vs_locks/batch_2_threads");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_millis(1500));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    group.bench_function(BenchmarkId::new("cas_uc", 2), |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let set = TreapSet::from_version(prefill.clone());
-                total += run(&set, &workload, 2);
-            }
-            total
-        })
-    });
-    group.bench_function(BenchmarkId::new("mutex_uc", 2), |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let set = LockedTreapSet::from_version(prefill.clone());
-                total += run(&set, &workload, 2);
-            }
-            total
-        })
-    });
-    group.bench_function(BenchmarkId::new("rwlock_uc", 2), |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let set = RwLockedTreapSet::from_version(prefill.clone());
-                total += run(&set, &workload, 2);
-            }
-            total
-        })
-    });
+    for backend in set_backends() {
+        group.bench_function(BenchmarkId::new(backend.name, THREADS), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // Fresh prefilled instance per iteration; prefill
+                    // happens outside the measured window.
+                    let set = (backend.make)();
+                    for &k in &workload.prefill {
+                        set.insert(k);
+                    }
+                    total += run(set.as_ref(), &workload);
+                }
+                total
+            })
+        });
+    }
     group.finish();
 }
 

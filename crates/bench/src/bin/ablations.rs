@@ -94,21 +94,21 @@ fn ablate_noop_skip(cfg: &TableConfig, threads: usize) {
     struct AlwaysCasSet {
         uc: PathCopyUc<pathcopy_trees::treap::TreapSet<i64>>,
     }
-    impl ConcurrentSet for AlwaysCasSet {
+    impl ConcurrentSet<i64> for AlwaysCasSet {
         fn insert(&self, key: i64) -> bool {
             self.uc.update(|s| match s.insert(key) {
                 Some(next) => Update::Replace(next, true),
                 None => Update::Replace(s.clone(), false), // pointless CAS
             })
         }
-        fn remove(&self, key: i64) -> bool {
-            self.uc.update(|s| match s.remove(&key) {
+        fn remove(&self, key: &i64) -> bool {
+            self.uc.update(|s| match s.remove(key) {
                 Some(next) => Update::Replace(next, true),
                 None => Update::Replace(s.clone(), false),
             })
         }
-        fn contains(&self, key: i64) -> bool {
-            self.uc.read(|s| s.contains(&key))
+        fn contains(&self, key: &i64) -> bool {
+            self.uc.read(|s| s.contains(key))
         }
         fn len(&self) -> usize {
             self.uc.read(|s| s.len())

@@ -22,6 +22,12 @@ use crate::measure::{run_concurrent, run_sequential};
 use crate::sets::{prefill_ebst, prefill_mutable, prefill_treap, ConcurrentSet};
 use crate::table::{PaperRow, PaperTable};
 
+/// A constructor producing a fresh, prefilled backend for one trial —
+/// the harness's registry entry. Boxing the backend behind the core
+/// [`ConcurrentSet`] trait is what lets one `measure_rows` drive every
+/// structure, instead of the per-backend copies this file used to carry.
+pub type BackendCtor = Box<dyn Fn() -> Box<dyn ConcurrentSet<i64>> + Send + Sync>;
+
 /// Which concurrent structure the UC columns use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StructureKind {
@@ -44,6 +50,39 @@ impl StructureKind {
             "mutex" | "mutex-treap" => Some(StructureKind::MutexTreap),
             "rwlock" | "rwlock-treap" => Some(StructureKind::RwlockTreap),
             _ => None,
+        }
+    }
+
+    /// Builds the trial constructor for this structure: the persistent
+    /// prefill version is built **once** here and cloned (O(1)) into a
+    /// fresh backend per call, so trials start from identical state
+    /// without re-inserting the keys.
+    pub fn constructor(self, prefill_keys: &[i64], backoff: BackoffPolicy) -> BackendCtor {
+        match self {
+            StructureKind::Treap => {
+                let prefill = prefill_treap(prefill_keys);
+                Box::new(move || {
+                    let set = TreapSet::with_backoff(backoff);
+                    set.reset_to(prefill.clone());
+                    Box::new(set)
+                })
+            }
+            StructureKind::ExternalBst => {
+                let prefill = prefill_ebst(prefill_keys);
+                Box::new(move || {
+                    let set = ExternalBstSet::with_backoff(backoff);
+                    set.reset_to(prefill.clone());
+                    Box::new(set)
+                })
+            }
+            StructureKind::MutexTreap => {
+                let prefill = prefill_treap(prefill_keys);
+                Box::new(move || Box::new(LockedTreapSet::from_version(prefill.clone())))
+            }
+            StructureKind::RwlockTreap => {
+                let prefill = prefill_treap(prefill_keys);
+                Box::new(move || Box::new(RwLockedTreapSet::from_version(prefill.clone())))
+            }
         }
     }
 }
@@ -123,18 +162,18 @@ pub fn machine_profile(name: &str) -> Option<(&'static str, Vec<usize>)> {
     }
 }
 
-/// Measures one workload: sequential baseline plus UC speedups.
-fn measure_rows<S, St, MkSet, MkStreams>(
+/// Measures one workload: sequential baseline plus UC speedups. One
+/// generic body for every backend — the structure arrives as a
+/// [`BackendCtor`] from [`StructureKind::constructor`].
+fn measure_rows<St, MkStreams>(
     workload_name: &str,
     cfg: &TableConfig,
     seq_throughput: f64,
-    make_set: MkSet,
+    make_set: &BackendCtor,
     make_streams: MkStreams,
 ) -> PaperRow
 where
-    S: ConcurrentSet,
     St: OpStream,
-    MkSet: Fn() -> S,
     MkStreams: Fn(usize, usize) -> Vec<St>, // (processes, trial index)
 {
     let mut speedups = Vec::with_capacity(cfg.process_counts.len());
@@ -143,7 +182,7 @@ where
             let set = make_set();
             let streams = make_streams(p, trial);
             let started = Instant::now();
-            let ops = run_concurrent(&set, streams, cfg.trial);
+            let ops = run_concurrent(set.as_ref(), streams, cfg.trial);
             (ops, started.elapsed())
         });
         speedups.push((p, stats.mean / seq_throughput));
@@ -165,11 +204,6 @@ where
 pub fn run_batch_row(cfg: &TableConfig) -> PaperRow {
     let max_p = cfg.process_counts.iter().copied().max().unwrap_or(1);
     let workload = BatchWorkload::generate(max_p, cfg.prefill_size, cfg.keys_per_process, cfg.seed);
-    let prefill = prefill_treap(&workload.prefill);
-    let prefill_e = match cfg.structure {
-        StructureKind::ExternalBst => Some(prefill_ebst(&workload.prefill)),
-        _ => None,
-    };
 
     // Sequential baseline: the mutable treap on one thread, running the
     // first process's batch stream.
@@ -192,58 +226,14 @@ pub fn run_batch_row(cfg: &TableConfig) -> PaperRow {
         s
     };
 
-    match cfg.structure {
-        StructureKind::Treap => measure_rows(
-            "Batch",
-            cfg,
-            seq_stats.mean,
-            || {
-                let set = TreapSet::with_backoff(cfg.backoff);
-                set.reset_to(prefill.clone());
-                set
-            },
-            streams_for,
-        ),
-        StructureKind::ExternalBst => {
-            let pe = prefill_e.expect("ebst prefill built above");
-            measure_rows(
-                "Batch",
-                cfg,
-                seq_stats.mean,
-                move || {
-                    let set = ExternalBstSet::with_backoff(cfg.backoff);
-                    set.reset_to(pe.clone());
-                    set
-                },
-                streams_for,
-            )
-        }
-        StructureKind::MutexTreap => measure_rows(
-            "Batch",
-            cfg,
-            seq_stats.mean,
-            || LockedTreapSet::from_version(prefill.clone()),
-            streams_for,
-        ),
-        StructureKind::RwlockTreap => measure_rows(
-            "Batch",
-            cfg,
-            seq_stats.mean,
-            || RwLockedTreapSet::from_version(prefill.clone()),
-            streams_for,
-        ),
-    }
+    let make_set = cfg.structure.constructor(&workload.prefill, cfg.backoff);
+    measure_rows("Batch", cfg, seq_stats.mean, &make_set, streams_for)
 }
 
 /// Runs the Random row (§4.2).
 pub fn run_random_row(cfg: &TableConfig) -> PaperRow {
     let max_p = cfg.process_counts.iter().copied().max().unwrap_or(1);
     let workload = RandomWorkload::generate(max_p, cfg.prefill_size, cfg.key_range, cfg.seed ^ 1);
-    let prefill = prefill_treap(&workload.prefill);
-    let prefill_e = match cfg.structure {
-        StructureKind::ExternalBst => Some(prefill_ebst(&workload.prefill)),
-        _ => None,
-    };
 
     let mut seq_set = prefill_mutable(&workload.prefill);
     let seq_stats = crate::measure::trials_with_warmup(cfg.warmup_trials, cfg.trials, |trial| {
@@ -272,47 +262,8 @@ pub fn run_random_row(cfg: &TableConfig) -> PaperRow {
             .collect::<Vec<_>>()
     };
 
-    match cfg.structure {
-        StructureKind::Treap => measure_rows(
-            "Random",
-            cfg,
-            seq_stats.mean,
-            || {
-                let set = TreapSet::with_backoff(cfg.backoff);
-                set.reset_to(prefill.clone());
-                set
-            },
-            streams_for,
-        ),
-        StructureKind::ExternalBst => {
-            let pe = prefill_e.expect("ebst prefill built above");
-            measure_rows(
-                "Random",
-                cfg,
-                seq_stats.mean,
-                move || {
-                    let set = ExternalBstSet::with_backoff(cfg.backoff);
-                    set.reset_to(pe.clone());
-                    set
-                },
-                streams_for,
-            )
-        }
-        StructureKind::MutexTreap => measure_rows(
-            "Random",
-            cfg,
-            seq_stats.mean,
-            || LockedTreapSet::from_version(prefill.clone()),
-            streams_for,
-        ),
-        StructureKind::RwlockTreap => measure_rows(
-            "Random",
-            cfg,
-            seq_stats.mean,
-            || RwLockedTreapSet::from_version(prefill.clone()),
-            streams_for,
-        ),
-    }
+    let make_set = cfg.structure.constructor(&workload.prefill, cfg.backoff);
+    measure_rows("Random", cfg, seq_stats.mean, &make_set, streams_for)
 }
 
 /// Runs the full two-row table (Batch + Random) for one machine profile.

@@ -52,10 +52,11 @@ impl TrialStats {
 
 /// Runs `streams.len()` worker threads against `set` for `duration`,
 /// returning total completed operations. Workers start together behind a
-/// barrier; a stop flag ends the run.
+/// barrier; a stop flag ends the run. Generic over the core
+/// [`ConcurrentSet`] trait (including `dyn` backends from the registry).
 pub fn run_concurrent<S, St>(set: &S, mut streams: Vec<St>, duration: Duration) -> u64
 where
-    S: ConcurrentSet + ?Sized,
+    S: ConcurrentSet<i64> + ?Sized,
     St: OpStream,
 {
     let threads = streams.len();
@@ -76,7 +77,7 @@ where
                     // Check the stop flag every few ops to keep the flag
                     // read off the critical path.
                     for _ in 0..16 {
-                        set.apply(stream.next_op());
+                        stream.next_op().apply_to(set);
                         ops += 1;
                     }
                 }

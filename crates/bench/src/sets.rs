@@ -1,98 +1,19 @@
-//! A uniform façade over every set implementation the paper compares,
-//! so the harness can drive them interchangeably.
+//! Backend plumbing for the benchmark runners.
+//!
+//! The per-backend façade trait that used to live here is gone: the
+//! harness is generic over
+//! [`pathcopy_core::ConcurrentSet`] (re-exported below), which every
+//! backend in `pathcopy-concurrent` implements, and backends are
+//! constructed through [`pathcopy_concurrent::registry`] or
+//! [`StructureKind::constructor`](crate::harness::StructureKind::constructor)
+//! instead of hand-wired impls. What remains here is the sequential
+//! baseline trait and the shared prefill builders.
 
-use pathcopy_concurrent::{ExternalBstSet, LockedTreapSet, RwLockedTreapSet, TreapSet};
 use pathcopy_trees::mutable::MutTreapSet;
 use pathcopy_trees::{treap, ExternalBstSet as PExternalBstSet};
 use pathcopy_workloads::Op;
 
-/// Thread-safe set interface used by the benchmark runners.
-pub trait ConcurrentSet: Sync {
-    /// Inserts `key`; `true` if the set changed.
-    fn insert(&self, key: i64) -> bool;
-    /// Removes `key`; `true` if the set changed.
-    fn remove(&self, key: i64) -> bool;
-    /// Membership test.
-    fn contains(&self, key: i64) -> bool;
-    /// Number of keys.
-    fn len(&self) -> usize;
-    /// `true` if empty.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-    /// Applies one workload operation; returns `true` if it modified the
-    /// set (queries return `false`).
-    fn apply(&self, op: Op) -> bool {
-        match op {
-            Op::Insert(k) => self.insert(k),
-            Op::Remove(k) => self.remove(k),
-            Op::Contains(k) => {
-                let _ = self.contains(k);
-                false
-            }
-        }
-    }
-}
-
-impl ConcurrentSet for TreapSet<i64> {
-    fn insert(&self, key: i64) -> bool {
-        TreapSet::insert(self, key)
-    }
-    fn remove(&self, key: i64) -> bool {
-        TreapSet::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        TreapSet::contains(self, &key)
-    }
-    fn len(&self) -> usize {
-        TreapSet::len(self)
-    }
-}
-
-impl ConcurrentSet for ExternalBstSet<i64> {
-    fn insert(&self, key: i64) -> bool {
-        ExternalBstSet::insert(self, key)
-    }
-    fn remove(&self, key: i64) -> bool {
-        ExternalBstSet::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        ExternalBstSet::contains(self, &key)
-    }
-    fn len(&self) -> usize {
-        ExternalBstSet::len(self)
-    }
-}
-
-impl ConcurrentSet for LockedTreapSet<i64> {
-    fn insert(&self, key: i64) -> bool {
-        LockedTreapSet::insert(self, key)
-    }
-    fn remove(&self, key: i64) -> bool {
-        LockedTreapSet::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        LockedTreapSet::contains(self, &key)
-    }
-    fn len(&self) -> usize {
-        LockedTreapSet::len(self)
-    }
-}
-
-impl ConcurrentSet for RwLockedTreapSet<i64> {
-    fn insert(&self, key: i64) -> bool {
-        RwLockedTreapSet::insert(self, key)
-    }
-    fn remove(&self, key: i64) -> bool {
-        RwLockedTreapSet::remove(self, &key)
-    }
-    fn contains(&self, key: i64) -> bool {
-        RwLockedTreapSet::contains(self, &key)
-    }
-    fn len(&self) -> usize {
-        RwLockedTreapSet::len(self)
-    }
-}
+pub use pathcopy_core::ConcurrentSet;
 
 /// Single-threaded set interface for the "Seq Treap" baseline.
 pub trait SequentialSet {
@@ -158,14 +79,15 @@ pub fn prefill_mutable(keys: &[i64]) -> MutTreapSet<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathcopy_concurrent::TreapSet;
 
     #[test]
-    fn facade_dispatches_correctly() {
+    fn core_trait_dispatches_correctly() {
         let s = TreapSet::new();
         assert!(ConcurrentSet::insert(&s, 1));
-        assert!(ConcurrentSet::contains(&s, 1));
-        assert!(s.apply(Op::Remove(1)));
-        assert!(!s.apply(Op::Contains(1)));
+        assert!(ConcurrentSet::contains(&s, &1));
+        assert!(Op::Remove(1).apply_to(&s));
+        assert!(!Op::Contains(1).apply_to(&s));
         assert!(ConcurrentSet::is_empty(&s));
     }
 

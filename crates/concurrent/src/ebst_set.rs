@@ -4,8 +4,11 @@
 
 use std::sync::Arc;
 
-use pathcopy_core::{BackoffPolicy, PathCopyUc, UcStats, Update, UpdateReport};
+use pathcopy_core::api;
+use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, UcStats, Update, UpdateReport};
 use pathcopy_trees::ExternalBstSet as PExternalBstSet;
+
+use crate::snapshot::EbstSnapshot;
 
 /// A lock-free concurrent ordered set backed by a persistent external BST.
 ///
@@ -87,9 +90,11 @@ impl<K: Ord + Clone + Send + Sync> ExternalBstSet<K> {
         self.len() == 0
     }
 
-    /// Immutable point-in-time snapshot.
-    pub fn snapshot(&self) -> Arc<PExternalBstSet<K>> {
-        self.uc.snapshot()
+    /// Immutable point-in-time snapshot, supporting the
+    /// [`SetSnapshot`](pathcopy_core::SetSnapshot) interface (lazy
+    /// `range`, snapshot-to-snapshot `diff`).
+    pub fn snapshot(&self) -> EbstSnapshot<K> {
+        EbstSnapshot::new(self.uc.snapshot())
     }
 
     /// Attempt/retry statistics.
@@ -100,6 +105,37 @@ impl<K: Ord + Clone + Send + Sync> ExternalBstSet<K> {
     /// Unconditionally replaces the contents (benchmark setup/reset).
     pub fn reset_to(&self, version: PExternalBstSet<K>) {
         self.uc.replace_version(version);
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> api::ConcurrentSet<K> for ExternalBstSet<K> {
+    fn insert(&self, key: K) -> bool {
+        ExternalBstSet::insert(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        ExternalBstSet::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        ExternalBstSet::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ExternalBstSet::len(self)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.uc.stats().snapshot()
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> api::Snapshottable for ExternalBstSet<K> {
+    type Snapshot = EbstSnapshot<K>;
+
+    /// O(1): loads the current root.
+    fn snapshot(&self) -> EbstSnapshot<K> {
+        ExternalBstSet::snapshot(self)
     }
 }
 

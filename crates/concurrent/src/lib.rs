@@ -9,6 +9,15 @@
 //! O(1) that never blocks writers. (On the *sharded* structures, reads of
 //! a shard briefly spin while a cross-shard batch is mid-install there —
 //! see [`batch`] — so the batch becomes visible everywhere at once.)
+//!
+//! Every backend implements the unified trait family of
+//! [`pathcopy_core::api`] — [`ConcurrentMap`](pathcopy_core::ConcurrentMap)
+//! / [`ConcurrentSet`](pathcopy_core::ConcurrentSet) for point
+//! operations and [`Snapshottable`](pathcopy_core::Snapshottable) for
+//! first-class snapshot handles with lazy `range`/`iter` and
+//! shared-subtree-pruned `diff` (see [`snapshot`]). The [`registry`]
+//! wires all backends up once for generic benches, oracle tests, and
+//! examples.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -18,15 +27,19 @@ pub mod composite;
 pub mod ebst_set;
 pub mod locked;
 pub mod more;
+pub mod registry;
 pub mod sharded;
+pub mod snapshot;
 pub mod treap_map;
 pub mod treap_set;
 
 pub use batch::{BatchOp, BatchResult};
 pub use composite::Composite;
 pub use ebst_set::ExternalBstSet;
-pub use locked::{LockedTreapSet, RwLockedTreapSet};
+pub use locked::{LockedMap, LockedTreapSet, RwLockedTreapSet};
 pub use more::{AvlSet, Queue, RbSet, Stack};
-pub use sharded::{ShardedSnapshot, ShardedTreapMap};
+pub use sharded::{MergedRange, ShardedSnapshot, ShardedTreapMap};
+pub use snapshot::{EbstSnapshot, SetRange, TreapSetSnapshot, TreapSnapshot};
+pub use treap_set::{MergedKeys, ShardedSetSnapshot, ShardedTreapSet, TreapSet};
+
 pub use treap_map::TreapMap;
-pub use treap_set::{ShardedSetSnapshot, ShardedTreapSet, TreapSet};

@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use pathcopy_core::{PathCopyUc, UcStats, Update};
+use pathcopy_core::api;
+use pathcopy_core::{PathCopyUc, StatsSnapshot, UcStats, Update};
 use pathcopy_trees::{avl, list::PStack, queue::PQueue, rbtree};
 
 /// Lock-free concurrent ordered set backed by a persistent AVL tree.
@@ -75,6 +76,28 @@ impl<K: Ord + Clone + Send + Sync> AvlSet<K> {
     }
 }
 
+impl<K: Ord + Clone + Send + Sync> api::ConcurrentSet<K> for AvlSet<K> {
+    fn insert(&self, key: K) -> bool {
+        AvlSet::insert(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        AvlSet::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        AvlSet::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        AvlSet::len(self)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.uc.stats().snapshot()
+    }
+}
+
 /// Lock-free concurrent ordered set backed by a persistent red–black
 /// tree.
 pub struct RbSet<K> {
@@ -141,6 +164,28 @@ impl<K: Ord + Clone + Send + Sync> RbSet<K> {
     /// Attempt/retry statistics.
     pub fn stats(&self) -> &Arc<UcStats> {
         self.uc.stats()
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> api::ConcurrentSet<K> for RbSet<K> {
+    fn insert(&self, key: K) -> bool {
+        RbSet::insert(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        RbSet::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        RbSet::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        RbSet::len(self)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.uc.stats().snapshot()
     }
 }
 

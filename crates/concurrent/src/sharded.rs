@@ -34,14 +34,20 @@
 //!   cross-shard key order.
 
 use std::collections::hash_map::DefaultHasher;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::iter::Peekable;
+use std::ops::Bound;
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
+use pathcopy_core::api::{self, DiffEntry};
 use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, Update};
 use pathcopy_trees::hash::splitmix64;
-use pathcopy_trees::TreapMap as PTreapMap;
+use pathcopy_trees::{treap, TreapMap as PTreapMap};
+
+use crate::snapshot::TreapRange;
 
 /// A lock-free concurrent ordered-per-shard map: keys are hash-partitioned
 /// across `N` independent path-copying universal constructions.
@@ -204,10 +210,19 @@ where
         self.shard_for(key).read(|map| map.contains_key(key))
     }
 
-    /// Total number of entries, summed shard by shard. Each per-shard
-    /// count is exact; under concurrent updates the sum is a weakly
-    /// consistent estimate (like `ConcurrentHashMap::size`). Use
-    /// [`snapshot_all`](Self::snapshot_all)`.len()` for an exact count.
+    /// Total number of entries, summed shard by shard.
+    ///
+    /// **Not a linearizable count.** Each per-shard count is exact, but
+    /// the shards are read at different moments, so under concurrent
+    /// updates the sum can correspond to no single point in time — e.g.
+    /// a cross-shard [`transact`](Self::transact) that removes a key
+    /// from one shard and inserts one into another can be observed
+    /// half-summed, skewing the total by ±1 per in-flight batch (like
+    /// `ConcurrentHashMap::size`). For an exact, linearizable count take
+    /// a coherent cut: [`snapshot_all`](Self::snapshot_all)`.len()`
+    /// (the trait form is
+    /// [`Snapshottable::snapshot`](pathcopy_core::Snapshottable::snapshot)
+    /// + [`MapSnapshot::len`](pathcopy_core::MapSnapshot::len)).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read(|m| m.len())).sum()
     }
@@ -289,9 +304,25 @@ where
 
 /// An immutable, coherent point-in-time view of a [`ShardedTreapMap`];
 /// see [`ShardedTreapMap::snapshot_all`].
+///
+/// Implements [`MapSnapshot`](pathcopy_core::MapSnapshot): iteration and
+/// `range(..)` are **lazy** k-way merges of the per-shard persistent
+/// trees (hash partitioning destroys cross-shard order, so the merge
+/// restores it on the fly), `len` is exact, and `diff` runs shard by
+/// shard, pruning shard roots — and subtrees — shared between the two
+/// cuts.
 pub struct ShardedSnapshot<K, V> {
     shards: Vec<Arc<PTreapMap<K, V>>>,
     mask: u64,
+}
+
+impl<K, V> Clone for ShardedSnapshot<K, V> {
+    fn clone(&self) -> Self {
+        ShardedSnapshot {
+            shards: self.shards.clone(),
+            mask: self.mask,
+        }
+    }
 }
 
 impl<K, V> ShardedSnapshot<K, V>
@@ -329,18 +360,305 @@ where
         &self.shards[index]
     }
 
-    /// Iterates every entry, shard by shard (ordered within a shard,
-    /// unordered across shards).
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.shards.iter().flat_map(|s| s.iter())
+    /// Lazy iterator over every entry in global key order (a k-way merge
+    /// of the per-shard trees; no intermediate `Vec`).
+    pub fn iter(&self) -> MergedRange<'_, K, V> {
+        self.range_by(Bound::Unbounded, Bound::Unbounded)
     }
 
-    /// Collects all entries in global key order (the cross-shard merge
-    /// hash partitioning makes necessary).
+    /// Lazy iterator over the entries between the two bounds, in global
+    /// key order.
+    pub fn range_by(&self, lo: Bound<&K>, hi: Bound<&K>) -> MergedRange<'_, K, V> {
+        MergedRange {
+            arms: self
+                .shards
+                .iter()
+                .map(|s| s.range((lo.cloned(), hi.cloned())).peekable())
+                .collect(),
+        }
+    }
+
+    /// Lazy iterator over the entries in `range`, in global key order.
+    pub fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> MergedRange<'_, K, V> {
+        self.range_by(range.start_bound(), range.end_bound())
+    }
+
+    /// Collects all entries in global key order.
     pub fn to_sorted_vec(&self) -> Vec<(K, V)> {
-        let mut out: Vec<(K, V)> = self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        self.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+impl<K, V> fmt::Debug for ShardedSnapshot<K, V>
+where
+    K: Ord + Clone + Hash + fmt::Debug,
+    V: Clone + fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K, V> api::MapSnapshot<K, V> for ShardedSnapshot<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + PartialEq + Send + Sync,
+{
+    type Range<'a>
+        = MergedRange<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    fn get(&self, key: &K) -> Option<&V> {
+        ShardedSnapshot::get(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ShardedSnapshot::len(self)
+    }
+
+    fn range_by(&self, lo: Bound<&K>, hi: Bound<&K>) -> Self::Range<'_> {
+        ShardedSnapshot::range_by(self, lo, hi)
+    }
+
+    fn diff(&self, newer: &Self) -> Vec<DiffEntry<K, V>> {
+        let mut out = Vec::new();
+        if self.mask == newer.mask {
+            // Keys never move between shards while the count is fixed,
+            // so the diff decomposes per shard; unchanged shard roots
+            // (and shared subtrees below changed roots) are pruned by
+            // pointer equality inside the per-shard diff.
+            for (a, b) in self.shards.iter().zip(&newer.shards) {
+                out.extend(a.diff(b));
+            }
+            out.sort_by(|x, y| x.key().cmp(y.key()));
+        } else {
+            // Different shard counts (e.g. across a future re-sharding):
+            // fall back to a linear merge of the ordered iterations.
+            let mut a = self.iter().peekable();
+            let mut b = newer.iter().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (None, None) => break,
+                    (Some(_), None) => {
+                        let (k, v) = a.next().expect("peeked");
+                        out.push(DiffEntry::Removed(k.clone(), v.clone()));
+                    }
+                    (None, Some(_)) => {
+                        let (k, v) = b.next().expect("peeked");
+                        out.push(DiffEntry::Added(k.clone(), v.clone()));
+                    }
+                    (Some(&(ka, _)), Some(&(kb, _))) => match ka.cmp(kb) {
+                        std::cmp::Ordering::Less => {
+                            let (k, v) = a.next().expect("peeked");
+                            out.push(DiffEntry::Removed(k.clone(), v.clone()));
+                        }
+                        std::cmp::Ordering::Greater => {
+                            let (k, v) = b.next().expect("peeked");
+                            out.push(DiffEntry::Added(k.clone(), v.clone()));
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let (k, va) = a.next().expect("peeked");
+                            let (_, vb) = b.next().expect("peeked");
+                            if va != vb {
+                                out.push(DiffEntry::Changed(k.clone(), va.clone(), vb.clone()));
+                            }
+                        }
+                    },
+                }
+            }
+        }
         out
+    }
+}
+
+/// Lazy k-way merge over the per-shard range iterators of a
+/// [`ShardedSnapshot`]: yields entries in global key order without
+/// materializing anything.
+pub struct MergedRange<'a, K: Ord, V> {
+    arms: Vec<Peekable<TreapRange<'a, K, V>>>,
+}
+
+impl<'a, K: Ord, V> Iterator for MergedRange<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Shard counts are small (a handful to a few dozen), so a linear
+        // scan for the minimum head beats heap bookkeeping.
+        let mut best: Option<(usize, &'a K)> = None;
+        for (i, arm) in self.arms.iter_mut().enumerate() {
+            if let Some(&(k, _)) = arm.peek() {
+                let better = match best {
+                    None => true,
+                    Some((_, bk)) => k < bk,
+                };
+                if better {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let (i, _) = best?;
+        self.arms[i].next()
+    }
+}
+
+/// Owning form of [`MergedRange`]: consumes a [`ShardedSnapshot`],
+/// yielding `(K, V)` clones in global key order.
+/// One arm of [`ShardedIntoIter`]: the buffered head entry plus the rest
+/// of that shard's stream.
+type IntoArm<K, V> = (Option<(K, V)>, treap::IntoIter<K, V>);
+
+/// Owning form of [`MergedRange`]: consumes a [`ShardedSnapshot`],
+/// yielding `(K, V)` clones in global key order.
+pub struct ShardedIntoIter<K, V> {
+    arms: Vec<IntoArm<K, V>>,
+}
+
+impl<K: Ord + Clone, V: Clone> Iterator for ShardedIntoIter<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<usize> = None;
+        for (i, (head, _)) in self.arms.iter().enumerate() {
+            if let Some((k, _)) = head {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (bk, _) = self.arms[b].0.as_ref().expect("best head present");
+                        k < bk
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        let i = best?;
+        let item = self.arms[i].0.take();
+        self.arms[i].0 = self.arms[i].1.next();
+        item
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> IntoIterator for ShardedSnapshot<K, V> {
+    type Item = (K, V);
+    type IntoIter = ShardedIntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        ShardedIntoIter {
+            arms: self
+                .shards
+                .into_iter()
+                .map(|s| {
+                    let mut it = PTreapMap::clone(&s).into_iter();
+                    (it.next(), it)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a ShardedSnapshot<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Clone,
+{
+    type Item = (&'a K, &'a V);
+    type IntoIter = MergedRange<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<K, V> api::ConcurrentMap<K, V> for ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        ShardedTreapMap::insert(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        ShardedTreapMap::remove(self, key)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        ShardedTreapMap::get(self, key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        ShardedTreapMap::contains_key(self, key)
+    }
+
+    /// Weakly consistent per-shard sum — see [`ShardedTreapMap::len`].
+    fn len(&self) -> usize {
+        ShardedTreapMap::len(self)
+    }
+
+    fn compute(&self, key: &K, f: &dyn Fn(Option<&V>) -> Option<V>) -> Option<V> {
+        ShardedTreapMap::compute(self, key, f)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        ShardedTreapMap::stats_snapshot(self)
+    }
+}
+
+impl<K, V> api::Snapshottable for ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Snapshot = ShardedSnapshot<K, V>;
+
+    /// A coherent cut of all shards via the validated double scan
+    /// (lock-free, not wait-free) — see
+    /// [`ShardedTreapMap::snapshot_all`].
+    fn snapshot(&self) -> ShardedSnapshot<K, V> {
+        self.snapshot_all()
+    }
+}
+
+impl<K, V> fmt::Debug for ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync + fmt::Debug,
+    V: Clone + Send + Sync + fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot_all();
+        f.debug_map().entries(snap.iter()).finish()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Builds a map with the default shard count
+    /// ([`ShardedTreapMap::default`]).
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let map = ShardedTreapMap::default();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K, V> Extend<(K, V)> for ShardedTreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
     }
 }
 

@@ -1,11 +1,15 @@
 //! Lock-free concurrent ordered map built on the persistent treap.
 
+use std::fmt;
 use std::hash::Hash;
 use std::ops::RangeBounds;
 use std::sync::Arc;
 
-use pathcopy_core::{BackoffPolicy, PathCopyUc, UcStats, Update, UpdateReport};
+use pathcopy_core::api;
+use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, UcStats, Update, UpdateReport};
 use pathcopy_trees::TreapMap as PTreapMap;
+
+use crate::snapshot::TreapSnapshot;
 
 /// A lock-free concurrent ordered map backed by a persistent treap.
 ///
@@ -148,12 +152,17 @@ where
     }
 
     /// Immutable point-in-time snapshot supporting all persistent-map
-    /// reads (iteration, `range`, `select`, `rank`, …).
-    pub fn snapshot(&self) -> Arc<PTreapMap<K, V>> {
-        self.uc.snapshot()
+    /// reads (iteration, `range`, `select`, `rank`, …) plus the
+    /// [`MapSnapshot`](pathcopy_core::MapSnapshot) interface (lazy
+    /// `range`, snapshot-to-snapshot `diff`).
+    pub fn snapshot(&self) -> TreapSnapshot<K, V> {
+        TreapSnapshot::new(self.uc.snapshot())
     }
 
-    /// Collects the entries in `range` from a consistent snapshot.
+    /// Collects the entries in `range` from a consistent snapshot into a
+    /// `Vec`. Eager; prefer `self.snapshot().range(..)` (see
+    /// [`MapSnapshot`](pathcopy_core::MapSnapshot)) to iterate lazily
+    /// without materializing.
     pub fn range_to_vec<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
         self.uc.read(|map| {
             map.range(range)
@@ -170,6 +179,88 @@ where
     /// Unconditionally replaces the contents (benchmark setup/reset).
     pub fn reset_to(&self, version: PTreapMap<K, V>) {
         self.uc.replace_version(version);
+    }
+}
+
+impl<K, V> api::ConcurrentMap<K, V> for TreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        TreapMap::insert(self, key, value)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        TreapMap::remove(self, key)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        TreapMap::get(self, key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        TreapMap::contains_key(self, key)
+    }
+
+    fn len(&self) -> usize {
+        TreapMap::len(self)
+    }
+
+    fn compute(&self, key: &K, f: &dyn Fn(Option<&V>) -> Option<V>) -> Option<V> {
+        TreapMap::compute(self, key, f)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.uc.stats().snapshot()
+    }
+}
+
+impl<K, V> api::Snapshottable for TreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Snapshot = TreapSnapshot<K, V>;
+
+    /// O(1): loads the current root.
+    fn snapshot(&self) -> TreapSnapshot<K, V> {
+        TreapMap::snapshot(self)
+    }
+}
+
+impl<K, V> fmt::Debug for TreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync + fmt::Debug,
+    V: Clone + Send + Sync + fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.uc
+            .read(|map| f.debug_map().entries(map.iter()).finish())
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for TreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Builds the persistent prefill off-line, then wraps it — no CAS
+    /// traffic during construction.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        TreapMap::from_version(iter.into_iter().collect())
+    }
+}
+
+impl<K, V> Extend<(K, V)> for TreapMap<K, V>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
     }
 }
 

@@ -12,14 +12,18 @@
 //! and the `*_batch` operations commit atomically even when the keys
 //! span shards (see [`crate::ShardedTreapMap::transact`]).
 
+use std::fmt;
 use std::hash::Hash;
+use std::ops::Bound;
 use std::sync::Arc;
 
+use pathcopy_core::api::{self, SetDiffEntry};
 use pathcopy_core::{BackoffPolicy, PathCopyUc, StatsSnapshot, UcStats, Update, UpdateReport};
 use pathcopy_trees::treap;
 
 use crate::batch::{BatchOp, BatchResult};
-use crate::sharded::{ShardedSnapshot, ShardedTreapMap};
+use crate::sharded::{MergedRange, ShardedIntoIter, ShardedSnapshot, ShardedTreapMap};
+use crate::snapshot::TreapSetSnapshot;
 
 /// A lock-free concurrent ordered set backed by a persistent treap.
 ///
@@ -127,9 +131,11 @@ impl<K: Ord + Clone + Hash + Send + Sync> TreapSet<K> {
 
     /// Returns an immutable point-in-time snapshot. The snapshot supports
     /// every read operation of [`pathcopy_trees::TreapSet`] (iteration,
-    /// rank queries through `as_map`, …) and stays valid forever.
-    pub fn snapshot(&self) -> Arc<treap::TreapSet<K>> {
-        self.uc.snapshot()
+    /// rank queries through `as_map`, …) plus the
+    /// [`SetSnapshot`](pathcopy_core::SetSnapshot) interface (lazy
+    /// `range`, snapshot-to-snapshot `diff`), and stays valid forever.
+    pub fn snapshot(&self) -> TreapSetSnapshot<K> {
+        TreapSetSnapshot::new(self.uc.snapshot())
     }
 
     /// Collects the current keys in ascending order.
@@ -146,6 +152,60 @@ impl<K: Ord + Clone + Hash + Send + Sync> TreapSet<K> {
     /// for benchmark setup/reset).
     pub fn reset_to(&self, version: treap::TreapSet<K>) {
         self.uc.replace_version(version);
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> api::ConcurrentSet<K> for TreapSet<K> {
+    fn insert(&self, key: K) -> bool {
+        TreapSet::insert(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        TreapSet::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        TreapSet::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        TreapSet::len(self)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.uc.stats().snapshot()
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> api::Snapshottable for TreapSet<K> {
+    type Snapshot = TreapSetSnapshot<K>;
+
+    /// O(1): loads the current root.
+    fn snapshot(&self) -> TreapSetSnapshot<K> {
+        TreapSet::snapshot(self)
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync + fmt::Debug> fmt::Debug for TreapSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.uc
+            .read(|set| f.debug_set().entries(set.iter()).finish())
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> FromIterator<K> for TreapSet<K> {
+    /// Builds the persistent prefill off-line, then wraps it — no CAS
+    /// traffic during construction.
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        TreapSet::from_version(iter.into_iter().collect())
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> Extend<K> for TreapSet<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
     }
 }
 
@@ -286,9 +346,81 @@ impl<K: Ord + Clone + Hash + Send + Sync> ShardedTreapSet<K> {
     }
 }
 
+impl<K: Ord + Clone + Hash + Send + Sync> api::ConcurrentSet<K> for ShardedTreapSet<K> {
+    fn insert(&self, key: K) -> bool {
+        ShardedTreapSet::insert(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        ShardedTreapSet::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        ShardedTreapSet::contains(self, key)
+    }
+
+    /// Weakly consistent per-shard sum — see [`ShardedTreapSet::len`].
+    fn len(&self) -> usize {
+        ShardedTreapSet::len(self)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        ShardedTreapSet::stats_snapshot(self)
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> api::Snapshottable for ShardedTreapSet<K> {
+    type Snapshot = ShardedSetSnapshot<K>;
+
+    /// A coherent cut of all shards — see
+    /// [`ShardedTreapSet::snapshot_all`].
+    fn snapshot(&self) -> ShardedSetSnapshot<K> {
+        self.snapshot_all()
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync + fmt::Debug> fmt::Debug for ShardedTreapSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot_all();
+        f.debug_set().entries(snap.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> FromIterator<K> for ShardedTreapSet<K> {
+    /// Builds a set with the default shard count
+    /// ([`ShardedTreapSet::default`]).
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let set = ShardedTreapSet::default();
+        for k in iter {
+            set.insert(k);
+        }
+        set
+    }
+}
+
+impl<K: Ord + Clone + Hash + Send + Sync> Extend<K> for ShardedTreapSet<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
 /// An immutable, coherent point-in-time view of a [`ShardedTreapSet`].
+///
+/// Implements [`SetSnapshot`](pathcopy_core::SetSnapshot): lazy ordered
+/// iteration (a k-way merge across shards), exact `len`, and
+/// shared-subtree-pruned `diff`.
 pub struct ShardedSetSnapshot<K> {
     inner: ShardedSnapshot<K, ()>,
+}
+
+impl<K> Clone for ShardedSetSnapshot<K> {
+    fn clone(&self) -> Self {
+        ShardedSetSnapshot {
+            inner: self.inner.clone(),
+        }
+    }
 }
 
 impl<K: Ord + Clone + Hash> ShardedSetSnapshot<K> {
@@ -307,18 +439,98 @@ impl<K: Ord + Clone + Hash> ShardedSetSnapshot<K> {
         self.inner.is_empty()
     }
 
-    /// Iterates every key, shard by shard (ordered within a shard,
-    /// unordered across shards).
-    pub fn iter(&self) -> impl Iterator<Item = &K> {
-        self.inner.iter().map(|(k, ())| k)
+    /// Lazy iterator over every key in global order (a k-way merge of
+    /// the per-shard trees; no intermediate `Vec`).
+    pub fn iter(&self) -> MergedKeys<'_, K> {
+        MergedKeys {
+            inner: self.inner.iter(),
+        }
     }
 
-    /// Collects all keys in global order (the cross-shard merge hash
-    /// partitioning makes necessary).
+    /// Collects all keys in global order.
     pub fn to_sorted_vec(&self) -> Vec<K> {
-        let mut out: Vec<K> = self.iter().cloned().collect();
-        out.sort();
-        out
+        self.iter().cloned().collect()
+    }
+}
+
+impl<K: Ord + Clone + Hash + fmt::Debug> fmt::Debug for ShardedSetSnapshot<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Lazy ascending key iterator over a [`ShardedSetSnapshot`].
+pub struct MergedKeys<'a, K: Ord> {
+    inner: MergedRange<'a, K, ()>,
+}
+
+impl<'a, K: Ord> Iterator for MergedKeys<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, ())| k)
+    }
+}
+
+impl<K> api::SetSnapshot<K> for ShardedSetSnapshot<K>
+where
+    K: Ord + Clone + Hash + Send + Sync,
+{
+    type Range<'a>
+        = MergedKeys<'a, K>
+    where
+        Self: 'a,
+        K: 'a;
+
+    fn contains(&self, key: &K) -> bool {
+        ShardedSetSnapshot::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ShardedSetSnapshot::len(self)
+    }
+
+    fn range_by(&self, lo: Bound<&K>, hi: Bound<&K>) -> Self::Range<'_> {
+        MergedKeys {
+            inner: self.inner.range_by(lo, hi),
+        }
+    }
+
+    fn diff(&self, newer: &Self) -> Vec<SetDiffEntry<K>> {
+        SetDiffEntry::from_unit_diff(api::MapSnapshot::diff(&self.inner, &newer.inner))
+    }
+}
+
+/// Owning ascending key iterator over a consumed [`ShardedSetSnapshot`].
+pub struct ShardedSetIntoIter<K> {
+    inner: ShardedIntoIter<K, ()>,
+}
+
+impl<K: Ord + Clone> Iterator for ShardedSetIntoIter<K> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, ())| k)
+    }
+}
+
+impl<K: Ord + Clone + Hash> IntoIterator for ShardedSetSnapshot<K> {
+    type Item = K;
+    type IntoIter = ShardedSetIntoIter<K>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        ShardedSetIntoIter {
+            inner: self.inner.into_iter(),
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone + Hash> IntoIterator for &'a ShardedSetSnapshot<K> {
+    type Item = &'a K;
+    type IntoIter = MergedKeys<'a, K>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 

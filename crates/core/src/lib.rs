@@ -27,16 +27,22 @@
 //! * [`lock_uc`] — `MutexUc`, `RwLockUc`, `SeqUc` baselines.
 //! * [`backoff`] — retry backoff policies (ablation; the paper uses none).
 //! * [`stats`] — attempt/retry counters used to validate the model.
+//! * [`api`] — the unified `ConcurrentMap`/`ConcurrentSet`/`Snapshottable`
+//!   trait family every front-end implements.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod backoff;
 pub mod lock_uc;
 pub mod stats;
 pub mod uc;
 pub mod version;
 
+pub use api::{
+    ConcurrentMap, ConcurrentSet, DiffEntry, MapSnapshot, SetDiffEntry, SetSnapshot, Snapshottable,
+};
 pub use backoff::{Backoff, BackoffPolicy};
 pub use lock_uc::{MutexUc, RwLockUc, SeqUc};
 pub use stats::{StatsSnapshot, UcStats};

@@ -127,7 +127,28 @@ pub struct StatsSnapshot {
     pub attempt_hist: Vec<u64>,
 }
 
+impl Default for StatsSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl StatsSnapshot {
+    /// An all-zero snapshot — what backends without counters (the
+    /// lock-based baselines) report through
+    /// [`crate::api::ConcurrentMap::stats_snapshot`].
+    pub fn empty() -> Self {
+        StatsSnapshot {
+            ops: 0,
+            attempts: 0,
+            cas_failures: 0,
+            noop_updates: 0,
+            reads: 0,
+            frozen_installs: 0,
+            attempt_hist: vec![0; MAX_TRACKED_ATTEMPTS],
+        }
+    }
+
     /// Mean number of attempts per update (1.0 = no contention).
     pub fn mean_attempts(&self) -> f64 {
         if self.ops == 0 {

@@ -18,7 +18,10 @@
 use std::borrow::Borrow;
 use std::cmp::Ordering::{Equal, Greater, Less};
 use std::fmt;
+use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
+
+use pathcopy_core::api::SetDiffEntry;
 
 /// A node of the external BST.
 #[derive(Debug)]
@@ -177,6 +180,105 @@ impl<K: Ord + Clone> ExternalBstSet<K> {
     /// Keys in ascending order.
     pub fn iter(&self) -> EbIter<'_, K> {
         EbIter::new(self.root.as_deref())
+    }
+
+    /// Lazy ascending iterator over the keys between the two bounds.
+    /// Routing keys steer the descent, so whole subtrees below the lower
+    /// bound are skipped without being visited.
+    pub fn range_by(&self, lo: Bound<&K>, hi: Bound<&K>) -> EbRange<'_, K> {
+        EbRange::new(self.root.as_ref(), lo.cloned(), hi.cloned())
+    }
+
+    /// Lazy ascending iterator over the keys in `range`
+    /// (e.g. `set.range(10..20)`).
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> EbRange<'_, K> {
+        self.range_by(range.start_bound(), range.end_bound())
+    }
+
+    /// Difference between this (older) version and `newer`, in ascending
+    /// key order, skipping subtrees shared by pointer equality (see
+    /// [`diff_counted`](Self::diff_counted)).
+    pub fn diff(&self, newer: &Self) -> Vec<SetDiffEntry<K>> {
+        self.diff_counted(newer).0
+    }
+
+    /// [`diff`](Self::diff) that also reports how many tree nodes the
+    /// walk visited — two identical versions visit 0 nodes, and nearby
+    /// versions visit only the changed region plus its boundary paths.
+    pub fn diff_counted(&self, newer: &Self) -> (Vec<SetDiffEntry<K>>, usize) {
+        let mut old: Vec<&Arc<EbNode<K>>> = self.root.iter().collect();
+        let mut new: Vec<&Arc<EbNode<K>>> = newer.root.iter().collect();
+        let mut out = Vec::new();
+        let mut visited = 0usize;
+        loop {
+            // Skip subtrees (and leaves) shared between the versions.
+            while let (Some(a), Some(b)) = (old.last(), new.last()) {
+                if Arc::ptr_eq(a, b) {
+                    old.pop();
+                    new.pop();
+                } else {
+                    break;
+                }
+            }
+            // Open internal tops one level at a time so the skip check
+            // above sees every shared child before it is expanded.
+            if let Some(top) = old.last() {
+                if let EbNode::Internal { left, right, .. } = &***top {
+                    visited += 1;
+                    old.pop();
+                    old.push(right);
+                    old.push(left);
+                    continue;
+                }
+            }
+            if let Some(top) = new.last() {
+                if let EbNode::Internal { left, right, .. } = &***top {
+                    visited += 1;
+                    new.pop();
+                    new.push(right);
+                    new.push(left);
+                    continue;
+                }
+            }
+            // Both tops are now leaves (or a side is exhausted).
+            fn leaf<K>(n: &EbNode<K>) -> &K {
+                match n {
+                    EbNode::Leaf { key } => key,
+                    EbNode::Internal { .. } => unreachable!("internal tops expanded above"),
+                }
+            }
+            match (old.last(), new.last()) {
+                (None, None) => break,
+                (Some(a), None) => {
+                    visited += 1;
+                    out.push(SetDiffEntry::Removed(leaf(a).clone()));
+                    old.pop();
+                }
+                (None, Some(b)) => {
+                    visited += 1;
+                    out.push(SetDiffEntry::Added(leaf(b).clone()));
+                    new.pop();
+                }
+                (Some(a), Some(b)) => match leaf(a).cmp(leaf(b)) {
+                    Less => {
+                        visited += 1;
+                        out.push(SetDiffEntry::Removed(leaf(a).clone()));
+                        old.pop();
+                    }
+                    Greater => {
+                        visited += 1;
+                        out.push(SetDiffEntry::Added(leaf(b).clone()));
+                        new.pop();
+                    }
+                    Equal => {
+                        visited += 2;
+                        old.pop();
+                        new.pop();
+                    }
+                },
+            }
+        }
+        (out, visited)
     }
 
     /// Height in edges on the longest root-to-leaf path (0 for empty or a
@@ -342,6 +444,98 @@ impl<'a, K> Iterator for EbIter<'a, K> {
             let top = self.stack.pop()?;
             match top {
                 EbNode::Leaf { key } => return Some(key),
+                EbNode::Internal { right, .. } => self.descend(right),
+            }
+        }
+    }
+}
+
+/// Lazy ascending iterator over a key range of an [`ExternalBstSet`].
+pub struct EbRange<'a, K> {
+    stack: Vec<&'a EbNode<K>>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+}
+
+impl<'a, K: Ord> EbRange<'a, K> {
+    fn new(root: Option<&'a Arc<EbNode<K>>>, lo: Bound<K>, hi: Bound<K>) -> Self {
+        let mut it = EbRange {
+            stack: Vec::new(),
+            lo,
+            hi,
+        };
+        if let Some(r) = root {
+            it.descend(r);
+        }
+        it
+    }
+
+    /// Walks to the first in-range leaf, skipping left subtrees whose
+    /// keys all lie below the lower bound (`keys < router <= lo`).
+    fn descend(&mut self, mut cur: &'a EbNode<K>) {
+        loop {
+            match cur {
+                EbNode::Leaf { .. } => {
+                    self.stack.push(cur);
+                    return;
+                }
+                EbNode::Internal {
+                    router,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let left_below = match &self.lo {
+                        Bound::Included(lo) | Bound::Excluded(lo) => router <= lo,
+                        Bound::Unbounded => false,
+                    };
+                    if left_below {
+                        cur = right;
+                    } else {
+                        self.stack.push(cur);
+                        cur = left;
+                    }
+                }
+            }
+        }
+    }
+
+    fn below_lower(&self, key: &K) -> bool {
+        match &self.lo {
+            Bound::Included(lo) => key < lo,
+            Bound::Excluded(lo) => key <= lo,
+            Bound::Unbounded => false,
+        }
+    }
+
+    fn above_upper(&self, key: &K) -> bool {
+        match &self.hi {
+            Bound::Included(hi) => key > hi,
+            Bound::Excluded(hi) => key >= hi,
+            Bound::Unbounded => false,
+        }
+    }
+}
+
+impl<'a, K: Ord> Iterator for EbRange<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let top = self.stack.pop()?;
+            match top {
+                EbNode::Leaf { key } => {
+                    // The first reached leaf can still sit below the
+                    // lower bound (only whole subtrees are pruned).
+                    if self.below_lower(key) {
+                        continue;
+                    }
+                    if self.above_upper(key) {
+                        self.stack.clear();
+                        return None;
+                    }
+                    return Some(key);
+                }
                 EbNode::Internal { right, .. } => self.descend(right),
             }
         }
@@ -551,6 +745,37 @@ mod tests {
             "mean modified-on-path {mean:.3} violates the <=2 lemma margin"
         );
         assert!(mean > 0.5, "suspiciously low mean {mean:.3}");
+    }
+
+    #[test]
+    fn range_iterates_lazily_and_in_order() {
+        let s: ExternalBstSet<i64> = (0..100).collect();
+        let got: Vec<i64> = s.range(10..20).copied().collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+        let got: Vec<i64> = s.range(90..).copied().collect();
+        assert_eq!(got, (90..100).collect::<Vec<_>>());
+        let got: Vec<i64> = s.range(..=5).copied().collect();
+        assert_eq!(got, (0..=5).collect::<Vec<_>>());
+        assert_eq!(s.range(200..300).count(), 0);
+        let empty: ExternalBstSet<i64> = ExternalBstSet::new();
+        assert_eq!(empty.range(..).count(), 0);
+    }
+
+    #[test]
+    fn diff_reports_membership_changes_in_order() {
+        let v1: ExternalBstSet<i64> = (0..100).collect();
+        let v2 = v1.insert(500).unwrap().remove(&7).unwrap();
+        assert_eq!(
+            v1.diff(&v2),
+            vec![SetDiffEntry::Removed(7), SetDiffEntry::Added(500)]
+        );
+        assert_eq!(
+            v2.diff(&v1),
+            vec![SetDiffEntry::Added(7), SetDiffEntry::Removed(500)]
+        );
+        let (diff, visited) = v1.diff_counted(&v1.clone());
+        assert!(diff.is_empty());
+        assert_eq!(visited, 0, "shared root must short-circuit");
     }
 
     #[test]

@@ -25,6 +25,8 @@ use std::ops::Bound;
 use std::ops::RangeBounds;
 use std::sync::Arc;
 
+use pathcopy_core::api::DiffEntry;
+
 use crate::hash::priority_of;
 
 /// Shared, immutable treap node.
@@ -433,6 +435,143 @@ impl<K: Ord, V> TreapMap<K, V> {
     }
 }
 
+impl<K: Ord + Clone, V: Clone + PartialEq> TreapMap<K, V> {
+    /// Difference between this (older) version and `newer`, in ascending
+    /// key order.
+    ///
+    /// Exploits path copying: a subtree that is pointer-identical in both
+    /// versions is skipped without being visited, so the cost is
+    /// proportional to the changed region plus its boundary search paths
+    /// — sublinear in the map size for nearby versions.
+    pub fn diff(&self, newer: &Self) -> Vec<DiffEntry<K, V>> {
+        self.diff_counted(newer).0
+    }
+
+    /// [`diff`](Self::diff) that also reports how many tree nodes the
+    /// walk visited — the observable form of the shared-subtree
+    /// short-circuit (two identical versions visit 0 nodes).
+    pub fn diff_counted(&self, newer: &Self) -> (Vec<DiffEntry<K, V>>, usize) {
+        let mut old = DiffWalk::new(&self.root);
+        let mut new = DiffWalk::new(&newer.root);
+        let mut out = Vec::new();
+        let mut visited = 0usize;
+        loop {
+            // Skip subtrees shared between the versions: both walks are
+            // positioned just before the same run of entries, so the run
+            // contributes nothing to the diff.
+            while let (Some(a), Some(b)) = (old.top_subtree(), new.top_subtree()) {
+                if Arc::ptr_eq(a, b) {
+                    old.pop();
+                    new.pop();
+                } else {
+                    break;
+                }
+            }
+            // Expand unexplored tops one level at a time so the skip
+            // check above sees every shared child before it is opened.
+            if old.top_subtree().is_some() {
+                visited += 1;
+                old.expand_top();
+                continue;
+            }
+            if new.top_subtree().is_some() {
+                visited += 1;
+                new.expand_top();
+                continue;
+            }
+            match (old.top_entry(), new.top_entry()) {
+                (None, None) => break,
+                (Some(n), None) => {
+                    out.push(DiffEntry::Removed(n.key.clone(), n.value.clone()));
+                    old.pop();
+                }
+                (None, Some(n)) => {
+                    out.push(DiffEntry::Added(n.key.clone(), n.value.clone()));
+                    new.pop();
+                }
+                (Some(a), Some(b)) => match a.key.cmp(&b.key) {
+                    Less => {
+                        out.push(DiffEntry::Removed(a.key.clone(), a.value.clone()));
+                        old.pop();
+                    }
+                    Greater => {
+                        out.push(DiffEntry::Added(b.key.clone(), b.value.clone()));
+                        new.pop();
+                    }
+                    Equal => {
+                        if a.value != b.value {
+                            out.push(DiffEntry::Changed(
+                                a.key.clone(),
+                                a.value.clone(),
+                                b.value.clone(),
+                            ));
+                        }
+                        old.pop();
+                        new.pop();
+                    }
+                },
+            }
+        }
+        (out, visited)
+    }
+}
+
+/// One pending step of an in-order diff walk.
+enum DiffFrame<'a, K, V> {
+    /// A node whose own entry is the next thing in order (its left
+    /// subtree has already been dispatched).
+    Entry(&'a Node<K, V>),
+    /// An unexplored subtree, still skippable as a whole.
+    Subtree(&'a Arc<Node<K, V>>),
+}
+
+/// In-order walk that exposes its unexplored subtrees, so the diff can
+/// skip ones shared with the other version before opening them.
+struct DiffWalk<'a, K, V> {
+    frames: Vec<DiffFrame<'a, K, V>>,
+}
+
+impl<'a, K, V> DiffWalk<'a, K, V> {
+    fn new(root: &'a Link<K, V>) -> Self {
+        DiffWalk {
+            frames: root.as_ref().map(DiffFrame::Subtree).into_iter().collect(),
+        }
+    }
+
+    fn top_subtree(&self) -> Option<&'a Arc<Node<K, V>>> {
+        match self.frames.last() {
+            Some(DiffFrame::Subtree(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn top_entry(&self) -> Option<&'a Node<K, V>> {
+        match self.frames.last() {
+            Some(DiffFrame::Entry(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// Replaces the top `Subtree` frame by (right subtree, own entry,
+    /// left subtree), leaving the left subtree on top.
+    fn expand_top(&mut self) {
+        let Some(DiffFrame::Subtree(s)) = self.frames.pop() else {
+            unreachable!("expand_top requires a Subtree top");
+        };
+        if let Some(r) = s.right.as_ref() {
+            self.frames.push(DiffFrame::Subtree(r));
+        }
+        self.frames.push(DiffFrame::Entry(s.as_ref()));
+        if let Some(l) = s.left.as_ref() {
+            self.frames.push(DiffFrame::Subtree(l));
+        }
+    }
+}
+
 impl<K: Ord + Clone + Hash, V: Clone> FromIterator<(K, V)> for TreapMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
         let mut map = TreapMap::new();
@@ -669,6 +808,58 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
     }
 }
 
+/// Owning in-order iterator over a [`TreapMap`] version.
+///
+/// Holds `Arc` references to the pending subtrees, so it is independent
+/// of any borrow of the map — the iterator form of a snapshot handle.
+/// Entries are cloned out of the shared nodes as they are produced.
+pub struct IntoIter<K, V> {
+    stack: Vec<Arc<Node<K, V>>>,
+}
+
+impl<K, V> IntoIter<K, V> {
+    fn new(root: Link<K, V>) -> Self {
+        let mut it = IntoIter { stack: Vec::new() };
+        it.push_left_spine(root);
+        it
+    }
+
+    fn push_left_spine(&mut self, mut cur: Link<K, V>) {
+        while let Some(n) = cur {
+            cur = n.left.clone();
+            self.stack.push(n);
+        }
+    }
+}
+
+impl<K: Clone, V: Clone> Iterator for IntoIter<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left_spine(n.right.clone());
+        Some((n.key.clone(), n.value.clone()))
+    }
+}
+
+impl<K: Clone, V: Clone> IntoIterator for TreapMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter::new(self.root)
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a TreapMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Iter::new(&self.root)
+    }
+}
+
 /// Iterator over a key range of a [`TreapMap`].
 pub struct Range<'a, K, V, R> {
     stack: Vec<&'a Node<K, V>>,
@@ -812,6 +1003,30 @@ impl<K: Ord> TreapSet<K> {
     /// Validates treap invariants; returns the node count.
     pub fn check_invariants(&self) -> usize {
         self.map.check_invariants()
+    }
+}
+
+/// Owning ascending key iterator over a [`TreapSet`] version.
+pub struct SetIntoIter<K> {
+    inner: IntoIter<K, ()>,
+}
+
+impl<K: Clone> Iterator for SetIntoIter<K> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, ())| k)
+    }
+}
+
+impl<K: Clone> IntoIterator for TreapSet<K> {
+    type Item = K;
+    type IntoIter = SetIntoIter<K>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        SetIntoIter {
+            inner: self.map.into_iter(),
+        }
     }
 }
 
@@ -1064,6 +1279,65 @@ mod tests {
         assert!(s.contains(&1), "old version untouched");
         assert!(!s2.contains(&1));
         assert_eq!(s2.len(), 0);
+    }
+
+    #[test]
+    fn diff_reports_adds_removes_changes_in_key_order() {
+        let v1: TreapMap<i64, i64> = (0..100).map(|k| (k, k)).collect();
+        let (v2, _) = v1.insert(200, 200); // added
+        let (v2, _) = v2.remove(&10).unwrap(); // removed
+        let (v2, _) = v2.insert(50, -50); // changed
+        let diff = v1.diff(&v2);
+        assert_eq!(
+            diff,
+            vec![
+                DiffEntry::Removed(10, 10),
+                DiffEntry::Changed(50, 50, -50),
+                DiffEntry::Added(200, 200),
+            ]
+        );
+        // Reversed direction swaps the roles.
+        let back = v2.diff(&v1);
+        assert_eq!(
+            back,
+            vec![
+                DiffEntry::Added(10, 10),
+                DiffEntry::Changed(50, -50, 50),
+                DiffEntry::Removed(200, 200),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_of_identical_versions_visits_nothing() {
+        let v: TreapMap<i64, i64> = (0..1000).map(|k| (k, k)).collect();
+        let (diff, visited) = v.diff_counted(&v.clone());
+        assert!(diff.is_empty());
+        assert_eq!(visited, 0, "shared root must short-circuit the walk");
+    }
+
+    #[test]
+    fn diff_against_empty_is_the_full_contents() {
+        let v: TreapMap<i64, i64> = (0..50).map(|k| (k, k * 3)).collect();
+        let empty = TreapMap::new();
+        let diff = empty.diff(&v);
+        assert_eq!(diff.len(), 50);
+        assert!(diff
+            .iter()
+            .enumerate()
+            .all(|(i, e)| *e == DiffEntry::Added(i as i64, i as i64 * 3)));
+        assert!(v.diff(&v).is_empty());
+        assert!(empty.diff(&empty).is_empty());
+    }
+
+    #[test]
+    fn owning_into_iter_matches_borrowing_iter() {
+        let m: TreapMap<i64, i64> = (0..500).map(|k| (k * 3 % 500, k)).collect();
+        let borrowed: Vec<(i64, i64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        let owned: Vec<(i64, i64)> = m.clone().into_iter().collect();
+        assert_eq!(owned, borrowed);
+        let set: TreapSet<i64> = (0..100).collect();
+        assert!(set.clone().into_iter().eq(0..100));
     }
 
     #[test]

@@ -50,6 +50,27 @@ impl Op {
     pub fn is_update(&self) -> bool {
         !matches!(self, Op::Contains(_))
     }
+
+    /// Applies this operation to any
+    /// [`ConcurrentSet`](pathcopy_core::ConcurrentSet) backend; returns
+    /// `true` if it modified the set (queries return `false`).
+    ///
+    /// This is how the benchmark harness and oracle tests stay generic:
+    /// one op stream drives every backend, including `dyn` ones from the
+    /// backend registry.
+    pub fn apply_to<S>(&self, set: &S) -> bool
+    where
+        S: pathcopy_core::ConcurrentSet<i64> + ?Sized,
+    {
+        match *self {
+            Op::Insert(k) => set.insert(k),
+            Op::Remove(k) => set.remove(&k),
+            Op::Contains(k) => {
+                let _ = set.contains(&k);
+                false
+            }
+        }
+    }
 }
 
 /// An infinite, per-process operation stream.

@@ -1,0 +1,114 @@
+//! Tour of every backend through the unified trait family.
+//!
+//! One workload, written once against `ConcurrentSet`, runs over every
+//! backend in the registry (`dyn` constructors); then a generic
+//! snapshot/diff audit, written once against
+//! `Snapshottable + MapSnapshot`, runs over every map backend. Adding a
+//! backend to the registry adds a row here with zero changes to this
+//! file.
+//!
+//! ```text
+//! cargo run --release --example backend_tour
+//! ```
+
+use std::time::Instant;
+
+use path_copying::pathcopy_concurrent::registry::{
+    for_each_map_backend, set_backends, MapBackendDriver,
+};
+use path_copying::prelude::*;
+
+const THREADS: i64 = 4;
+const PER_THREAD: i64 = 2_000;
+
+fn main() {
+    println!("== one workload, every set backend (via the dyn registry) ==");
+    println!(
+        "{:<18} {:>10} {:>12} {:>14} {:>12}",
+        "backend", "final len", "total ops", "mean attempts", "elapsed"
+    );
+    for backend in set_backends() {
+        let set = (backend.make)();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let set = set.as_ref();
+                scope.spawn(move || {
+                    // Hash-scrambled keys (splitmix64 is a bijection, so
+                    // they stay disjoint across threads) — ascending runs
+                    // would degenerate the rotation-free external BST.
+                    let key = |i: i64| {
+                        path_copying::pathcopy_trees::hash::splitmix64((t * PER_THREAD + i) as u64)
+                            as i64
+                    };
+                    for i in 0..PER_THREAD {
+                        set.insert(key(i));
+                    }
+                    for i in 0..PER_THREAD / 2 {
+                        set.remove(&key(i));
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        let stats = set.stats_snapshot();
+        let attempts = if stats.ops == 0 {
+            String::from("n/a (lock)")
+        } else {
+            format!("{:.2}", stats.mean_attempts())
+        };
+        println!(
+            "{:<18} {:>10} {:>12} {:>14} {:>10.1?}",
+            backend.name,
+            set.len(),
+            stats.ops,
+            attempts,
+            elapsed
+        );
+    }
+
+    println!();
+    println!("== generic snapshot audit, every map backend ==");
+    struct Audit;
+    impl MapBackendDriver for Audit {
+        fn drive<M>(&mut self, name: &str, make: fn() -> M)
+        where
+            M: ConcurrentMap<i64, i64> + Snapshottable,
+            M::Snapshot: MapSnapshot<i64, i64>,
+        {
+            let m = make();
+            for k in 0..1_000 {
+                m.insert(k, k);
+            }
+            let before = m.snapshot();
+
+            // Mutate: the snapshot cannot see any of it.
+            m.insert(1_000, 0);
+            m.remove(&17);
+            m.compute(&500, &|v| v.map(|x| x * 10));
+
+            let after = m.snapshot();
+            let window: i64 = after.range(100..110).map(|(_, v)| *v).sum();
+            let diff = before.diff(&after);
+            println!(
+                "{name:<16} before={} after={} range(100..110) sum={window} diff={:?}",
+                MapSnapshot::len(&before),
+                MapSnapshot::len(&after),
+                diff
+            );
+            assert_eq!(MapSnapshot::len(&before), 1_000, "snapshots are immutable");
+            assert_eq!(
+                diff,
+                vec![
+                    DiffEntry::Removed(17, 17),
+                    DiffEntry::Changed(500, 500, 5_000),
+                    DiffEntry::Added(1_000, 0),
+                ]
+            );
+        }
+    }
+    for_each_map_backend(&mut Audit);
+
+    println!();
+    println!("All backends agree — one trait family, one test surface.");
+}

@@ -11,13 +11,72 @@
 //! crates for details:
 //!
 //! * [`pathcopy_core`] — `VersionCell` (the `Root_Ptr` register),
-//!   `PathCopyUc` (the retrying load/copy/CAS loop), lock baselines.
+//!   `PathCopyUc` (the retrying load/copy/CAS loop), lock baselines,
+//!   and the unified trait family ([`pathcopy_core::api`]).
 //! * [`pathcopy_trees`] — persistent treap, AVL, red–black tree,
 //!   external BST, list, queue, vector; sharing measurements.
-//! * [`pathcopy_concurrent`] — ready-made lock-free sets/maps/sequences.
+//! * [`pathcopy_concurrent`] — ready-made lock-free sets/maps/sequences
+//!   and the backend registry.
 //! * [`pathcopy_sim`] — the Appendix-A model: private LRU caches,
 //!   synchronous processes, closed-form speedup.
 //! * [`pathcopy_workloads`] — the §4 Batch/Random workload generators.
+//!
+//! ## Choosing a backend
+//!
+//! Every backend implements the same trait family
+//! ([`ConcurrentMap`](prelude::ConcurrentMap) /
+//! [`ConcurrentSet`](prelude::ConcurrentSet) +
+//! [`Snapshottable`](prelude::Snapshottable)), so the choice is a
+//! one-line swap:
+//!
+//! | Backend | Progress guarantee | Snapshot cost | When to use |
+//! |---|---|---|---|
+//! | [`TreapMap`](prelude::TreapMap) / [`TreapSet`](prelude::TreapSet) | lock-free updates, wait-free reads | O(1) | The paper's construction; the default until a single root CAS saturates. |
+//! | [`ShardedTreapMap`](prelude::ShardedTreapMap) / [`ShardedTreapSet`](prelude::ShardedTreapSet) | lock-free | O(shards), validated double scan | Write-heavy multi-core workloads; atomic cross-shard batches via `transact`. `len()` is weakly consistent — use the snapshot for exact counts. |
+//! | [`ConcurrentExternalBstSet`](prelude::ConcurrentExternalBstSet) | lock-free | O(1) | The Appendix-A model tree (no rotations); reference subject for path-length measurements. |
+//! | [`ConcurrentAvlSet`](prelude::ConcurrentAvlSet), [`ConcurrentRbSet`](prelude::ConcurrentRbSet) | lock-free | O(1) | Alternative balancing disciplines under the same UC. |
+//! | [`LockedMap`](prelude::LockedMap) / [`LockedTreapSet`](prelude::LockedTreapSet) | blocking (global mutex) | O(1) | The intro's "simplest UC" baseline; surprisingly fine at low thread counts. |
+//! | [`RwLockedTreapSet`](prelude::RwLockedTreapSet) | blocking (rwlock) | O(1) | Read-mostly baseline; writers still serialize. |
+//!
+//! Because every version is persistent, snapshots on *every* backend are
+//! immutable, valid forever, and never block writers; they differ only
+//! in what taking one costs. Snapshots support **lazy** `iter()` /
+//! `range(..)` (real iterators over the persistent tree — no
+//! intermediate `Vec`) and snapshot-to-snapshot
+//! [`diff`](prelude::MapSnapshot::diff), which prunes shared subtrees by
+//! pointer equality, so diffing nearby versions costs the size of the
+//! change, not the size of the map.
+//!
+//! Write code against the traits once and it runs on every row of the
+//! table (the backend registry in
+//! [`pathcopy_concurrent::registry`] automates exactly this for the
+//! benches and oracle tests):
+//!
+//! ```
+//! use path_copying::prelude::*;
+//!
+//! /// Generic over any snapshottable map backend.
+//! fn audit<M>(m: &M) -> Vec<DiffEntry<i64, i64>>
+//! where
+//!     M: ConcurrentMap<i64, i64> + Snapshottable,
+//!     M::Snapshot: MapSnapshot<i64, i64>,
+//! {
+//!     let before = m.snapshot();
+//!     m.insert(1, 100);
+//!     m.compute(&2, &|v| Some(v.copied().unwrap_or(0) + 1));
+//!     let after = m.snapshot();
+//!     // Lazy range scan over the immutable view:
+//!     let _first = after.range(..10).next();
+//!     before.diff(&after) // what changed, in key order
+//! }
+//!
+//! let treap: TreapMap<i64, i64> = TreapMap::new();
+//! let sharded: ShardedTreapMap<i64, i64> = ShardedTreapMap::with_shards(8);
+//! let locked: LockedMap<i64, i64> = LockedMap::new();
+//! assert_eq!(audit(&treap).len(), 2);
+//! assert_eq!(audit(&sharded).len(), 2);
+//! assert_eq!(audit(&locked).len(), 2);
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -132,13 +191,16 @@ pub use pathcopy_workloads;
 /// One-line import for the common API.
 pub mod prelude {
     pub use pathcopy_concurrent::{
-        AvlSet as ConcurrentAvlSet, BatchOp, BatchResult,
-        ExternalBstSet as ConcurrentExternalBstSet, LockedTreapSet, Queue,
+        AvlSet as ConcurrentAvlSet, BatchOp, BatchResult, EbstSnapshot,
+        ExternalBstSet as ConcurrentExternalBstSet, LockedMap, LockedTreapSet, Queue,
         RbSet as ConcurrentRbSet, RwLockedTreapSet, ShardedSetSnapshot, ShardedSnapshot,
-        ShardedTreapMap, ShardedTreapSet, Stack, TreapMap, TreapSet,
+        ShardedTreapMap, ShardedTreapSet, Stack, TreapMap, TreapSet, TreapSetSnapshot,
+        TreapSnapshot,
     };
     pub use pathcopy_core::{
-        BackoffPolicy, MutexUc, PathCopyUc, RwLockUc, SeqUc, Update, VersionCell,
+        BackoffPolicy, ConcurrentMap, ConcurrentSet, DiffEntry, MapSnapshot, MutexUc, PathCopyUc,
+        RwLockUc, SeqUc, SetDiffEntry, SetSnapshot, Snapshottable, StatsSnapshot, Update,
+        VersionCell,
     };
     pub use pathcopy_trees::{
         avl::AvlMap, avl::AvlSet, list::PStack, pvec::PVec, queue::PQueue, rbtree::RbMap,
