@@ -1,0 +1,78 @@
+//! Round-trip cost of the serving layer: framed request/response over a
+//! loopback socket against an in-process server, per backend.
+//!
+//! This measures what the network front-end adds on top of the engine:
+//! `get`/`insert` are one frame each way, `batch16` amortizes sixteen
+//! ops over one round trip (mapped onto `transact` on the sharded
+//! backend), and `snapshot_scan` pins a version, pages its first 100
+//! entries, and releases it — the serving pattern the O(1)-snapshot
+//! claim enables.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcopy_concurrent::BatchOp;
+use pathcopy_server::{backend, Client, ServerConfig};
+
+const PREFILL: i64 = 10_000;
+
+fn bench_server_rtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_rtt");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(800));
+
+    for name in ["sharded_map_8", "treap_map"] {
+        let server = pathcopy_server::spawn(
+            backend::by_name(name).expect("registered backend"),
+            ServerConfig::with_workers(2),
+        )
+        .expect("bind ephemeral loopback port");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for chunk in (0..PREFILL).collect::<Vec<_>>().chunks(1000) {
+            let ops: Vec<BatchOp<i64, i64>> =
+                chunk.iter().map(|&k| BatchOp::Insert(k, k)).collect();
+            client.batch(&ops).expect("prefill");
+        }
+
+        let mut key = 0i64;
+        group.bench_function(BenchmarkId::new("get", name), |b| {
+            b.iter(|| {
+                key = (key + 1) % PREFILL;
+                client.get(key).expect("get")
+            })
+        });
+
+        let mut key = 0i64;
+        group.bench_function(BenchmarkId::new("insert", name), |b| {
+            b.iter(|| {
+                key = (key + 1) % PREFILL;
+                client.insert(key, key).expect("insert")
+            })
+        });
+
+        let batch: Vec<BatchOp<i64, i64>> = (0..16)
+            .map(|i| BatchOp::Insert(i * (PREFILL / 16), -i))
+            .collect();
+        group.bench_function(BenchmarkId::new("batch16", name), |b| {
+            b.iter(|| client.batch(&batch).expect("batch"))
+        });
+
+        group.bench_function(BenchmarkId::new("snapshot_scan100", name), |b| {
+            b.iter(|| {
+                let snap = client.snapshot().expect("snapshot");
+                let (page, _) = client.range(Some(snap), .., 100).expect("range");
+                client.release(snap).expect("release");
+                page.len()
+            })
+        });
+
+        drop(client);
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_rtt);
+criterion_main!(benches);

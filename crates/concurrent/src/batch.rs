@@ -54,7 +54,7 @@ use std::collections::BTreeMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use pathcopy_core::Update;
+use pathcopy_core::{BackoffPolicy, Update};
 use pathcopy_trees::TreapMap as PTreapMap;
 
 use crate::sharded::{shard_index, ShardedTreapMap};
@@ -318,7 +318,14 @@ where
         //   freeze tag.
         //
         // Each restart is caused by a per-key update that committed, so
-        // the system as a whole stays lock-free.
+        // the system as a whole stays lock-free. Between restarts we back
+        // off adaptively (exponential spin, capped): the freeze window
+        // competes with the per-key CAS loops for the same roots, and an
+        // immediate retry under sustained per-key traffic mostly loses the
+        // race again — unlike the paper's single-root CAS retry, a restart
+        // here repeats a multi-root copy pass, so losing is expensive.
+        // Backed-out passes are counted per shard as `freeze_retries`.
+        let mut backoff = BackoffPolicy::exponential().start();
         'freeze: loop {
             for j in 0..staged.len() {
                 if let Err(current) = self.shards[staged[j].shard].try_freeze_root(&staged[j].base)
@@ -326,12 +333,14 @@ where
                     for prior in &staged[..j] {
                         self.shards[prior.shard].unfreeze_root();
                     }
+                    self.shards[staged[j].shard].stats().record_freeze_retry();
                     let (next, results, changed) = apply_shard_ops(&current, batch, staged[j].idxs);
                     let stage = &mut staged[j];
                     stage.base = current;
                     stage.next = next;
                     stage.results = results;
                     stage.changed = changed;
+                    backoff.wait();
                     continue 'freeze;
                 }
             }
@@ -482,6 +491,7 @@ mod tests {
         let stats = m.stats_snapshot();
         assert_eq!(stats.frozen_installs, 0, "single-shard batch froze a root");
         assert_eq!(stats.ops, 1, "the batch is one CAS-loop op");
+        assert_eq!(stats.freeze_retries, 0, "nothing to back out");
     }
 
     #[test]
@@ -495,6 +505,10 @@ mod tests {
             stats.frozen_installs >= 2,
             "cross-shard batch must install via the freeze hook (got {})",
             stats.frozen_installs
+        );
+        assert_eq!(
+            stats.freeze_retries, 0,
+            "no concurrent writers, so the first freeze pass must stick"
         );
         for k in 0..64 {
             assert_eq!(m.get(&k), Some(k));

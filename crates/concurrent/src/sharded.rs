@@ -294,6 +294,7 @@ where
             merged.noop_updates += s.noop_updates;
             merged.reads += s.reads;
             merged.frozen_installs += s.frozen_installs;
+            merged.freeze_retries += s.freeze_retries;
             for (acc, v) in merged.attempt_hist.iter_mut().zip(s.attempt_hist) {
                 *acc += v;
             }

@@ -1,0 +1,425 @@
+//! Object-safe serving adapters over the engine's trait family.
+//!
+//! The server holds its backend as `Box<dyn ServeBackend>` so one binary
+//! can serve any engine. The engine-side traits are not enough on their
+//! own: [`ConcurrentMap`] is object safe
+//! but [`Snapshottable`] and
+//! [`MapSnapshot`] keep snapshots as
+//! associated types with lazy generic iterators, which `dyn` cannot
+//! carry. [`ServeBackend`]/[`ServeSnapshot`] flatten exactly the surface
+//! the wire protocol needs — point ops, batches, pinned snapshots,
+//! bounded range scans, diffs, stats — and two adapters implement it:
+//!
+//! * [`SnapshotServe`] wraps **any** map implementing the PR-3 trait
+//!   family (`ConcurrentMap + Snapshottable`). Batches fall back to
+//!   per-op application: each op is individually linearizable but the
+//!   batch as a whole is not atomic ([`ServeBackend::atomic_batches`]
+//!   reports `false`).
+//! * [`ShardedServe`] wraps [`ShardedTreapMap`] natively, mapping
+//!   [`Request::Batch`](crate::proto::Request::Batch) onto
+//!   [`ShardedTreapMap::transact`] — the cross-shard two-phase commit —
+//!   so batches are all-or-nothing even over the network.
+//!
+//! [`backends`] enumerates the servable registry; its names are asserted
+//! (in tests) to match
+//! [`pathcopy_concurrent::registry::map_backends`], the engine-side
+//! enumeration of the same list.
+
+use std::any::Any;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use pathcopy_concurrent::{BatchOp, BatchResult, LockedMap, ShardedTreapMap, TreapMap};
+use pathcopy_core::api::{ConcurrentMap, MapSnapshot, Snapshottable};
+use pathcopy_core::{DiffEntry, StatsSnapshot};
+
+/// An immutable, coherent point-in-time view a server can pin in its
+/// version table and scan or diff on demand.
+pub trait ServeSnapshot: Send + Sync + 'static {
+    /// Looks up `key` at snapshot time.
+    fn get(&self, key: i64) -> Option<i64>;
+
+    /// Exact number of entries at snapshot time.
+    fn len(&self) -> usize;
+
+    /// `true` if the snapshot holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ordered scan of the keys between the bounds, stopping after
+    /// `limit` entries (`0` = unlimited). The second component is `false`
+    /// when the scan stopped early with entries remaining.
+    fn range(&self, lo: Bound<i64>, hi: Bound<i64>, limit: usize) -> (Vec<(i64, i64)>, bool);
+
+    /// Difference between this (older) snapshot and `newer`, pruning
+    /// pointer-shared subtrees. `None` if `newer` comes from an
+    /// incompatible backend.
+    fn diff(&self, newer: &dyn ServeSnapshot) -> Option<Vec<DiffEntry<i64, i64>>>;
+
+    /// Downcast support for [`diff`](Self::diff).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The surface a backend exposes to the TCP server: object safe, `i64`
+/// keys and values (the wire protocol's domain).
+pub trait ServeBackend: Send + Sync + 'static {
+    /// Looks up `key`.
+    fn get(&self, key: i64) -> Option<i64>;
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    fn insert(&self, key: i64, value: i64) -> Option<i64>;
+
+    /// Removes `key`, returning its value if present.
+    fn remove(&self, key: i64) -> Option<i64>;
+
+    /// Atomic compare-and-set: if the value at `key` equals `expected`,
+    /// store `new` (`None` removes); returns whether it matched.
+    fn cas(&self, key: i64, expected: Option<i64>, new: Option<i64>) -> bool;
+
+    /// Applies a batch of operations, returning one result per op in
+    /// batch order. Atomic if [`atomic_batches`](Self::atomic_batches).
+    fn transact(&self, ops: &[BatchOp<i64, i64>]) -> Vec<BatchResult<i64>>;
+
+    /// `true` if [`transact`](Self::transact) applies the whole batch as
+    /// one linearizable operation (the sharded map's two-phase commit);
+    /// `false` if it falls back to per-op application.
+    fn atomic_batches(&self) -> bool;
+
+    /// Takes a coherent snapshot.
+    fn snapshot(&self) -> Arc<dyn ServeSnapshot>;
+
+    /// Number of entries (weakly consistent on sharded backends).
+    fn len(&self) -> usize;
+
+    /// `true` if the map has no entries (same caveat as [`len`](Self::len)).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The backend's accumulated operation statistics.
+    fn stats(&self) -> StatsSnapshot;
+}
+
+/// Wraps any [`MapSnapshot`] as a [`ServeSnapshot`].
+struct SnapWrap<S>(S);
+
+impl<S> ServeSnapshot for SnapWrap<S>
+where
+    S: MapSnapshot<i64, i64> + 'static,
+{
+    fn get(&self, key: i64) -> Option<i64> {
+        self.0.get(&key).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn range(&self, lo: Bound<i64>, hi: Bound<i64>, limit: usize) -> (Vec<(i64, i64)>, bool) {
+        let mut iter = self.0.range_by(lo.as_ref(), hi.as_ref());
+        if limit == 0 {
+            return (iter.map(|(k, v)| (*k, *v)).collect(), true);
+        }
+        let mut out = Vec::with_capacity(limit.min(1024));
+        for (k, v) in iter.by_ref() {
+            if out.len() == limit {
+                return (out, false);
+            }
+            out.push((*k, *v));
+        }
+        (out, true)
+    }
+
+    fn diff(&self, newer: &dyn ServeSnapshot) -> Option<Vec<DiffEntry<i64, i64>>> {
+        let newer = newer.as_any().downcast_ref::<SnapWrap<S>>()?;
+        Some(self.0.diff(&newer.0))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Serves any map of the PR-3 trait family. Point operations delegate to
+/// [`ConcurrentMap`]; batches apply per op (each op linearizable, the
+/// batch **not** atomic — see [`ShardedServe`] for atomic batches).
+pub struct SnapshotServe<M> {
+    map: M,
+}
+
+impl<M> SnapshotServe<M>
+where
+    M: ConcurrentMap<i64, i64> + Snapshottable + 'static,
+    M::Snapshot: MapSnapshot<i64, i64> + 'static,
+{
+    /// Wraps `map` for serving.
+    pub fn new(map: M) -> Self {
+        SnapshotServe { map }
+    }
+}
+
+impl<M> ServeBackend for SnapshotServe<M>
+where
+    M: ConcurrentMap<i64, i64> + Snapshottable + 'static,
+    M::Snapshot: MapSnapshot<i64, i64> + 'static,
+{
+    fn get(&self, key: i64) -> Option<i64> {
+        self.map.get(&key)
+    }
+
+    fn insert(&self, key: i64, value: i64) -> Option<i64> {
+        self.map.insert(key, value)
+    }
+
+    fn remove(&self, key: i64) -> Option<i64> {
+        self.map.remove(&key)
+    }
+
+    fn cas(&self, key: i64, expected: Option<i64>, new: Option<i64>) -> bool {
+        // `compute` applies its closure atomically; the returned previous
+        // value tells us which branch ran.
+        let prev = self.map.compute(&key, &|cur| {
+            if cur.copied() == expected {
+                new
+            } else {
+                cur.copied()
+            }
+        });
+        prev == expected
+    }
+
+    fn transact(&self, ops: &[BatchOp<i64, i64>]) -> Vec<BatchResult<i64>> {
+        ops.iter()
+            .map(|op| match op {
+                BatchOp::Get(k) => BatchResult::Got(self.get(*k)),
+                BatchOp::Insert(k, v) => BatchResult::Inserted(self.insert(*k, *v)),
+                BatchOp::Remove(k) => BatchResult::Removed(self.remove(*k)),
+                BatchOp::Cas { key, expected, new } => {
+                    BatchResult::Cas(self.cas(*key, *expected, *new))
+                }
+            })
+            .collect()
+    }
+
+    fn atomic_batches(&self) -> bool {
+        false
+    }
+
+    fn snapshot(&self) -> Arc<dyn ServeSnapshot> {
+        Arc::new(SnapWrap(self.map.snapshot()))
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.map.stats_snapshot()
+    }
+}
+
+/// Serves a [`ShardedTreapMap`] natively: batches go through
+/// [`ShardedTreapMap::transact`] (single-shard batches stay on the
+/// lock-free CAS path, cross-shard batches use the freeze/install
+/// two-phase commit), so a batch is one linearizable operation even when
+/// it spans shards.
+pub struct ShardedServe {
+    map: ShardedTreapMap<i64, i64>,
+}
+
+impl ShardedServe {
+    /// A fresh sharded map with `shards` partitions.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedServe {
+            map: ShardedTreapMap::with_shards(shards),
+        }
+    }
+
+    /// Wraps an existing sharded map for serving.
+    pub fn new(map: ShardedTreapMap<i64, i64>) -> Self {
+        ShardedServe { map }
+    }
+}
+
+impl ServeBackend for ShardedServe {
+    fn get(&self, key: i64) -> Option<i64> {
+        self.map.get(&key)
+    }
+
+    fn insert(&self, key: i64, value: i64) -> Option<i64> {
+        self.map.insert(key, value)
+    }
+
+    fn remove(&self, key: i64) -> Option<i64> {
+        self.map.remove(&key)
+    }
+
+    fn cas(&self, key: i64, expected: Option<i64>, new: Option<i64>) -> bool {
+        match self.map.transact(&[BatchOp::Cas { key, expected, new }])[0] {
+            BatchResult::Cas(ok) => ok,
+            ref other => unreachable!("Cas op answered with {other:?}"),
+        }
+    }
+
+    fn transact(&self, ops: &[BatchOp<i64, i64>]) -> Vec<BatchResult<i64>> {
+        self.map.transact(ops)
+    }
+
+    fn atomic_batches(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&self) -> Arc<dyn ServeSnapshot> {
+        Arc::new(SnapWrap(self.map.snapshot_all()))
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.map.stats_snapshot()
+    }
+}
+
+/// A named constructor for a servable backend.
+pub struct ServedBackend {
+    /// Stable name, matching the engine registry
+    /// ([`pathcopy_concurrent::registry::map_backends`]) and used by
+    /// `loadgen --backend`.
+    pub name: &'static str,
+    /// Builds a fresh, empty instance.
+    pub make: fn() -> Box<dyn ServeBackend>,
+}
+
+/// Every servable backend — the serving-layer view of the engine's map
+/// registry (same names, same order).
+pub fn backends() -> Vec<ServedBackend> {
+    vec![
+        ServedBackend {
+            name: "treap_map",
+            make: || Box::new(SnapshotServe::new(TreapMap::new())),
+        },
+        ServedBackend {
+            name: "sharded_map_1",
+            make: || Box::new(ShardedServe::with_shards(1)),
+        },
+        ServedBackend {
+            name: "sharded_map_8",
+            make: || Box::new(ShardedServe::with_shards(8)),
+        },
+        ServedBackend {
+            name: "locked_map",
+            make: || Box::new(SnapshotServe::new(LockedMap::new())),
+        },
+    ]
+}
+
+/// Builds the backend registered under `name`, if any.
+pub fn by_name(name: &str) -> Option<Box<dyn ServeBackend>> {
+    backends()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| (b.make)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_registry_matches_engine_registry() {
+        let engine: Vec<&str> = pathcopy_concurrent::registry::map_backends()
+            .iter()
+            .map(|b| b.name)
+            .collect();
+        let serving: Vec<&str> = backends().iter().map(|b| b.name).collect();
+        assert_eq!(
+            serving, engine,
+            "servable backends drifted from pathcopy_concurrent::registry::map_backends"
+        );
+    }
+
+    #[test]
+    fn every_backend_serves_point_ops_and_snapshots() {
+        for entry in backends() {
+            let b = (entry.make)();
+            let name = entry.name;
+            assert_eq!(b.insert(1, 10), None, "[{name}]");
+            assert_eq!(b.insert(2, 20), None, "[{name}]");
+            assert_eq!(b.get(1), Some(10), "[{name}]");
+            assert!(b.cas(1, Some(10), Some(11)), "[{name}]");
+            assert!(!b.cas(1, Some(10), Some(12)), "[{name}] stale cas");
+            assert_eq!(b.get(1), Some(11), "[{name}]");
+            assert!(b.cas(3, None, Some(30)), "[{name}] absent-guard cas");
+            assert!(b.cas(3, Some(30), None), "[{name}] cas-remove");
+            assert_eq!(b.get(3), None, "[{name}]");
+
+            let snap = b.snapshot();
+            assert_eq!(snap.len(), 2, "[{name}]");
+            b.remove(1);
+            assert_eq!(snap.get(1), Some(11), "[{name}] snapshot immutable");
+            let (entries, complete) = snap.range(Bound::Unbounded, Bound::Unbounded, 0);
+            assert_eq!(entries, vec![(1, 11), (2, 20)], "[{name}]");
+            assert!(complete, "[{name}]");
+            let (first, complete) = snap.range(Bound::Unbounded, Bound::Unbounded, 1);
+            assert_eq!(first, vec![(1, 11)], "[{name}]");
+            assert!(!complete, "[{name}] limit must report truncation");
+
+            let newer = b.snapshot();
+            let diff = snap.diff(newer.as_ref()).expect("same backend diffs");
+            assert_eq!(
+                diff,
+                vec![DiffEntry::Removed(1, 11)],
+                "[{name}] diff is the removal"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_results_match_transact_semantics() {
+        for entry in backends() {
+            let b = (entry.make)();
+            let name = entry.name;
+            let r = b.transact(&[
+                BatchOp::Insert(1, 10),
+                BatchOp::Get(1),
+                BatchOp::Cas {
+                    key: 1,
+                    expected: Some(10),
+                    new: Some(11),
+                },
+                BatchOp::Remove(2),
+            ]);
+            assert_eq!(
+                r,
+                vec![
+                    BatchResult::Inserted(None),
+                    BatchResult::Got(Some(10)),
+                    BatchResult::Cas(true),
+                    BatchResult::Removed(None),
+                ],
+                "[{name}]"
+            );
+            assert_eq!(b.get(1), Some(11), "[{name}]");
+        }
+    }
+
+    #[test]
+    fn sharded_backends_report_atomic_batches() {
+        for entry in backends() {
+            let b = (entry.make)();
+            let expect = entry.name.starts_with("sharded");
+            assert_eq!(b.atomic_batches(), expect, "[{}]", entry.name);
+        }
+    }
+
+    #[test]
+    fn mismatched_snapshots_refuse_to_diff() {
+        let a = (backends()[0].make)().snapshot();
+        let sharded = ShardedServe::with_shards(4);
+        let b = sharded.snapshot();
+        assert!(a.diff(b.as_ref()).is_none());
+    }
+}

@@ -1,0 +1,238 @@
+//! Load generator: N client threads with reused connections drive a
+//! spawned in-process server with the workspace's Zipf read/write mix,
+//! then print the bench harness's table format (throughput + latency
+//! percentiles).
+//!
+//! ```text
+//! cargo run --release --bin loadgen -- \
+//!     --threads 8 --ops 100000 --backend sharded_map_8 \
+//!     --read-frac 0.9 --theta 0.99 --keys 65536 \
+//!     [--batch 8] [--workers 8] [--json out.jsonl]
+//! ```
+//!
+//! `--batch n` groups updates into n-op `Batch` frames (the sharded
+//! backend commits them atomically via `transact`); `--json` appends one
+//! JSON line per metric in the criterion shim's `BENCH_JSON` schema
+//! (`{"id":...,"median_ns":...,"samples":...,"mode":...}`), so server
+//! throughput joins the same perf-trajectory artifacts as the benches.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use pathcopy_bench::cli::Args;
+use pathcopy_bench::table::{group_thousands, Series};
+use pathcopy_concurrent::BatchOp;
+use pathcopy_server::{backend, Client, ServerConfig};
+use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
+
+fn main() {
+    let args = Args::from_env();
+    let threads: usize = args.get_or("threads", 4);
+    let total_ops: u64 = args.get_or("ops", 100_000);
+    let backend_name: String = args.get_or("backend", "sharded_map_8".to_string());
+    let read_frac: f64 = args.get_or("read-frac", 0.9);
+    let theta: f64 = args.get_or("theta", 0.99);
+    let keys: u64 = args.get_or("keys", 65_536);
+    let batch: usize = args.get_or("batch", 1);
+    let workers: usize = args.get_or("workers", threads.max(1));
+    let prefill: u64 = args.get_or("prefill", keys / 2);
+    let seed: u64 = args.get_or("seed", 42);
+    let json: Option<String> = args.get("json").map(String::from);
+
+    assert!(threads >= 1, "--threads must be at least 1");
+    assert!(batch >= 1, "--batch must be at least 1");
+
+    let Some(engine) = backend::by_name(&backend_name) else {
+        let names: Vec<&str> = backend::backends().iter().map(|b| b.name).collect();
+        eprintln!("unknown --backend {backend_name}; available: {names:?}");
+        std::process::exit(2);
+    };
+
+    let server = pathcopy_server::spawn(engine, ServerConfig::with_workers(workers))
+        .expect("bind ephemeral loopback port");
+    let addr = server.addr();
+
+    // Prefill through the wire in large batches, so measured traffic
+    // starts from a realistically populated map.
+    {
+        let mut c = Client::connect(addr).expect("connect for prefill");
+        let mut rng_key = seed | 1;
+        for chunk_start in (0..prefill).step_by(512) {
+            let ops: Vec<_> = (chunk_start..(chunk_start + 512).min(prefill))
+                .map(|_| {
+                    // splitmix-style scramble keeps prefill keys inside the
+                    // workload's key space without an extra RNG dependency.
+                    rng_key = rng_key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+                    key_in_space(rng_key, keys)
+                })
+                .map(|k| BatchOp::Insert(k, k))
+                .collect();
+            if !ops.is_empty() {
+                c.batch(&ops).expect("prefill batch");
+            }
+        }
+    }
+
+    let per_thread = total_ops / threads as u64;
+    let start = Instant::now();
+    let mut all_latencies_ns: Vec<u64> = Vec::with_capacity(total_ops as usize);
+    let mut done_ops = 0u64;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connect");
+                let mut stream = MixedStream::new(
+                    KeyDist::Zipf { n: keys, theta },
+                    read_frac,
+                    seed ^ (0xc2b2_ae35 + t as u64),
+                );
+                let mut latencies = Vec::with_capacity(per_thread as usize);
+                let mut ops_run = 0u64;
+                let mut pending: Vec<BatchOp<i64, i64>> = Vec::with_capacity(batch);
+                while ops_run < per_thread {
+                    let op = stream.next_op();
+                    if batch > 1 && op.is_update() {
+                        pending.push(match op {
+                            Op::Insert(k) => BatchOp::Insert(k, k),
+                            Op::Remove(k) => BatchOp::Remove(k),
+                            Op::Contains(_) => unreachable!("updates only"),
+                        });
+                        if pending.len() == batch {
+                            let t0 = Instant::now();
+                            client.batch(&pending).expect("batch");
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            // One round trip carried `batch` ops.
+                            for _ in 0..pending.len() {
+                                latencies.push(ns / pending.len() as u64);
+                            }
+                            pending.clear();
+                        }
+                        ops_run += 1;
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    match op {
+                        Op::Contains(k) => {
+                            client.get(k).expect("get");
+                        }
+                        Op::Insert(k) => {
+                            client.insert(k, k).expect("insert");
+                        }
+                        Op::Remove(k) => {
+                            client.remove(k).expect("remove");
+                        }
+                    }
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    ops_run += 1;
+                }
+                if !pending.is_empty() {
+                    client.batch(&pending).expect("final batch");
+                }
+                (latencies, ops_run)
+            }));
+        }
+        for h in handles {
+            let (lat, ops) = h.join().expect("worker panicked");
+            all_latencies_ns.extend(lat);
+            done_ops += ops;
+        }
+    });
+
+    let elapsed = start.elapsed();
+    all_latencies_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if all_latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((all_latencies_ns.len() - 1) as f64 * p).round() as usize;
+        all_latencies_ns[idx]
+    };
+    let (p50, p95, p99, max) = (pct(0.50), pct(0.95), pct(0.99), pct(1.0));
+    let ops_per_sec = done_ops as f64 / elapsed.as_secs_f64();
+
+    let final_stats = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        c.stats().expect("stats")
+    };
+
+    println!(
+        "loadgen: backend={backend_name} threads={threads} workers={workers} ops={done_ops} \
+         read_frac={read_frac:.2} zipf(n={keys}, theta={theta}) batch={batch}"
+    );
+    let table = Series {
+        title: format!(
+            "Server round-trip throughput/latency ({} ops/sec)",
+            group_thousands(ops_per_sec as u64)
+        ),
+        columns: vec![
+            "threads".into(),
+            "ops".into(),
+            "secs".into(),
+            "kops_per_sec".into(),
+            "p50_us".into(),
+            "p95_us".into(),
+            "p99_us".into(),
+            "max_us".into(),
+        ],
+        rows: vec![vec![
+            threads as f64,
+            done_ops as f64,
+            elapsed.as_secs_f64(),
+            ops_per_sec / 1e3,
+            p50 as f64 / 1e3,
+            p95 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            max as f64 / 1e3,
+        ]],
+    };
+    print!("{}", table.render());
+    println!(
+        "engine: ops={} attempts={} cas_failures={} frozen_installs={} freeze_retries={} len={}",
+        final_stats.ops,
+        final_stats.attempts,
+        final_stats.cas_failures,
+        final_stats.frozen_installs,
+        final_stats.freeze_retries,
+        final_stats.len,
+    );
+
+    if let Some(path) = json {
+        // Same JSON-lines schema as the criterion shim's BENCH_JSON hook,
+        // so loadgen results aggregate into the same trend artifacts.
+        let prefix = format!("loadgen/{backend_name}/t{threads}/b{batch}");
+        let per_op_ns = elapsed.as_nanos() as f64 / done_ops.max(1) as f64;
+        let lines = [
+            format!(
+                "{{\"id\":\"{prefix}/throughput\",\"median_ns\":{per_op_ns:.1},\
+                 \"samples\":{done_ops},\"mode\":\"loadgen\"}}"
+            ),
+            format!(
+                "{{\"id\":\"{prefix}/latency_p50\",\"median_ns\":{p50}.0,\
+                 \"samples\":{done_ops},\"mode\":\"loadgen\"}}"
+            ),
+        ];
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                for line in &lines {
+                    writeln!(f, "{line}")?;
+                }
+                Ok(())
+            });
+        match written {
+            Ok(()) => println!("json: appended {} line(s) to {path}", lines.len()),
+            Err(e) => eprintln!("loadgen: cannot append to {path}: {e}"),
+        }
+    }
+
+    server.shutdown();
+}
+
+/// Maps a scrambled word into the workload key space `[0, keys)`.
+fn key_in_space(word: u64, keys: u64) -> i64 {
+    (word % keys.max(1)) as i64
+}

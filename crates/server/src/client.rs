@@ -1,0 +1,223 @@
+//! The blocking client: one reused TCP connection, typed calls.
+//!
+//! [`Client`] opens a single connection and reuses it for every call
+//! (requests and responses alternate strictly, so no multiplexing state
+//! is needed). The API mirrors the engine's: [`Client::batch`] takes the
+//! same [`BatchOp`] values as
+//! [`ShardedTreapMap::transact`](pathcopy_concurrent::ShardedTreapMap::transact)
+//! and returns the same [`BatchResult`]s, and [`Client::diff`] returns
+//! [`DiffEntry`] — code written against the
+//! in-process map moves to the network client by swapping the receiver.
+
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::{Bound, RangeBounds};
+
+use pathcopy_concurrent::{BatchOp, BatchResult};
+use pathcopy_core::DiffEntry;
+
+use crate::proto::{
+    read_response, write_request, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, write, or read).
+    Io(io::Error),
+    /// The response frame could not be decoded.
+    Proto(ProtoError),
+    /// The server answered with an error.
+    Server(WireError),
+    /// The server answered with a response of the wrong kind for the
+    /// request sent (a protocol bug, not an expected runtime condition).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind to {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// A blocking connection to a `pathcopy-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, since the protocol is small framed
+    /// request/response round trips).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response round trip, surfacing server-side errors.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.writer, req)?;
+        self.writer.flush()?;
+        match read_response(&mut self.reader)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: i64) -> Result<Option<i64>, ClientError> {
+        match self.call(&Request::Get { key })? {
+            Response::Got(v) => Ok(v),
+            _ => Err(ClientError::Unexpected("Get")),
+        }
+    }
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    pub fn insert(&mut self, key: i64, value: i64) -> Result<Option<i64>, ClientError> {
+        match self.call(&Request::Insert { key, value })? {
+            Response::Inserted(v) => Ok(v),
+            _ => Err(ClientError::Unexpected("Insert")),
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: i64) -> Result<Option<i64>, ClientError> {
+        match self.call(&Request::Remove { key })? {
+            Response::Removed(v) => Ok(v),
+            _ => Err(ClientError::Unexpected("Remove")),
+        }
+    }
+
+    /// Atomic compare-and-set; `Ok(true)` if the guard matched and the
+    /// write was applied.
+    pub fn cas(
+        &mut self,
+        key: i64,
+        expected: Option<i64>,
+        new: Option<i64>,
+    ) -> Result<bool, ClientError> {
+        match self.call(&Request::Cas { key, expected, new })? {
+            Response::CasApplied(ok) => Ok(ok),
+            _ => Err(ClientError::Unexpected("Cas")),
+        }
+    }
+
+    /// Applies a batch of operations in one round trip — the same
+    /// [`BatchOp`]s `ShardedTreapMap::transact` takes, with the same
+    /// all-or-nothing guarantee when the served backend supports atomic
+    /// batches.
+    pub fn batch(
+        &mut self,
+        ops: &[BatchOp<i64, i64>],
+    ) -> Result<Vec<BatchResult<i64>>, ClientError> {
+        match self.call(&Request::Batch(ops.to_vec()))? {
+            Response::Batch(results) => Ok(results),
+            _ => Err(ClientError::Unexpected("Batch")),
+        }
+    }
+
+    /// Pins a coherent snapshot in the server's version table and
+    /// returns its id (readable from any connection until
+    /// [`release`](Self::release)d).
+    pub fn snapshot(&mut self) -> Result<SnapshotId, ClientError> {
+        match self.call(&Request::Snapshot)? {
+            Response::SnapshotTaken(id) => Ok(id),
+            _ => Err(ClientError::Unexpected("Snapshot")),
+        }
+    }
+
+    /// Ordered scan of `range` on a pinned snapshot (`Some(id)`) or on a
+    /// fresh coherent snapshot (`None`). At most `limit` entries come
+    /// back (`0` = unlimited); the second component is `false` when the
+    /// scan was truncated.
+    pub fn range<R: RangeBounds<i64>>(
+        &mut self,
+        snapshot: Option<SnapshotId>,
+        range: R,
+        limit: u32,
+    ) -> Result<(Vec<(i64, i64)>, bool), ClientError> {
+        let req = Request::Range {
+            snapshot,
+            lo: clone_bound(range.start_bound()),
+            hi: clone_bound(range.end_bound()),
+            limit,
+        };
+        match self.call(&req)? {
+            Response::Entries { entries, complete } => Ok((entries, complete)),
+            _ => Err(ClientError::Unexpected("Range")),
+        }
+    }
+
+    /// What changed between the pinned snapshot `from` and `to`
+    /// (`None` = a fresh snapshot taken now), in ascending key order.
+    pub fn diff(
+        &mut self,
+        from: SnapshotId,
+        to: Option<SnapshotId>,
+    ) -> Result<Vec<DiffEntry<i64, i64>>, ClientError> {
+        match self.call(&Request::Diff { from, to })? {
+            Response::Diff(entries) => Ok(entries),
+            _ => Err(ClientError::Unexpected("Diff")),
+        }
+    }
+
+    /// Drops a pinned snapshot; `Ok(true)` if it existed.
+    pub fn release(&mut self, snapshot: SnapshotId) -> Result<bool, ClientError> {
+        match self.call(&Request::Release { snapshot })? {
+            Response::Released(existed) => Ok(existed),
+            _ => Err(ClientError::Unexpected("Release")),
+        }
+    }
+
+    /// Reads the backend's operation statistics and the server's
+    /// version-table size.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("Stats")),
+        }
+    }
+}
+
+fn clone_bound(b: Bound<&i64>) -> Bound<i64> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(&k) => Bound::Included(k),
+        Bound::Excluded(&k) => Bound::Excluded(k),
+    }
+}

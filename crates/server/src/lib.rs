@@ -1,0 +1,59 @@
+//! # pathcopy-server
+//!
+//! The network serving layer over the path-copying engine: a
+//! length-prefixed binary [wire protocol](proto), a thread-pooled
+//! blocking TCP [server], a reusable [client], and a Zipf load generator
+//! (`cargo run --release --bin loadgen`). Everything is `std::net` — the
+//! workspace builds offline, so there is no async runtime; concurrency
+//! comes from a hand-rolled [thread pool](pool), in the same spirit as
+//! the `shims/` crates.
+//!
+//! Why a server is the natural front-end for this engine: the paper's
+//! construction gives lock-free point writes *plus* O(1) coherent
+//! snapshots, which is exactly the split a read-heavy serving system
+//! wants. A [`proto::Request::Snapshot`] pins a
+//! frozen version in the server's table for pennies; later
+//! [`Range`](proto::Request::Range) scans and
+//! [`Diff`](proto::Request::Diff)s — from any connection — read that
+//! version undisturbed while writers race ahead, and cross-shard
+//! [`Batch`](proto::Request::Batch)es commit all-or-nothing through
+//! [`ShardedTreapMap::transact`](pathcopy_concurrent::ShardedTreapMap::transact).
+//!
+//! The server is engine-agnostic: it holds a
+//! [`Box<dyn ServeBackend>`](backend::ServeBackend), and
+//! [`backend::backends`] adapts every map of the
+//! `pathcopy_concurrent::registry` — so the treap, the sharded map at
+//! any shard count, and the locked baseline are all servable unchanged.
+//!
+//! ```
+//! use pathcopy_server::{backend, Client, ServerConfig};
+//!
+//! // An in-process server on an ephemeral loopback port.
+//! let server = pathcopy_server::spawn(
+//!     backend::by_name("sharded_map_8").unwrap(),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.insert(1, 10).unwrap();
+//! let snap = client.snapshot().unwrap(); // pinned, O(1)
+//! client.insert(1, 99).unwrap();
+//! let (entries, _) = client.range(Some(snap), .., 0).unwrap();
+//! assert_eq!(entries, vec![(1, 10)]); // the pinned version is immutable
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod client;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use backend::{ServeBackend, ServeSnapshot};
+pub use client::{Client, ClientError};
+pub use proto::{ProtoError, Request, Response, SnapshotId, WireError, WireStats, PROTO_VERSION};
+pub use server::{spawn, ServerConfig, ServerHandle};

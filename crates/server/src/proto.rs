@@ -1,0 +1,1089 @@
+//! The wire protocol: length-prefixed, version-tagged binary frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [tag: u8] [payload ...]
+//! ```
+//!
+//! where `len` counts everything after itself (version byte included).
+//! Integers are fixed-width little-endian; `Option`s and `Bound`s carry a
+//! one-byte discriminant; vectors a `u32` length. There is no serde and
+//! no reflection — [`Request`] and [`Response`] encode and decode
+//! themselves explicitly, and [`decode`](Request::decode) rejects short
+//! frames ([`ProtoError::Truncated`]), unknown discriminants
+//! ([`ProtoError::BadTag`]), version mismatches
+//! ([`ProtoError::BadVersion`]) and frames with unconsumed trailing bytes
+//! ([`ProtoError::TrailingBytes`]), so a corrupted or hostile peer can
+//! never smuggle a half-parsed message through.
+//!
+//! Batch operations and results are the engine's own
+//! [`BatchOp`]/[`BatchResult`] and map diffs are
+//! [`DiffEntry`] — the protocol serializes the
+//! same types [`ShardedTreapMap::transact`](pathcopy_concurrent::ShardedTreapMap::transact)
+//! and [`MapSnapshot::diff`](pathcopy_core::MapSnapshot::diff) speak, so
+//! the client API maps onto the engine API without translation layers.
+
+use std::io::{self, Read, Write};
+use std::ops::Bound;
+
+use pathcopy_concurrent::{BatchOp, BatchResult};
+use pathcopy_core::DiffEntry;
+
+/// Protocol version carried in every frame; peers reject mismatches.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on the frame body length; larger length prefixes are
+/// rejected before any allocation, so a corrupt peer cannot trigger a
+/// multi-gigabyte read buffer.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Identifier of a named snapshot held in the server's version table.
+pub type SnapshotId = u64;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up one key.
+    Get {
+        /// The key to read.
+        key: i64,
+    },
+    /// Insert or overwrite one key.
+    Insert {
+        /// The key to write.
+        key: i64,
+        /// The value to store.
+        value: i64,
+    },
+    /// Remove one key.
+    Remove {
+        /// The key to remove.
+        key: i64,
+    },
+    /// Atomic compare-and-set on one key.
+    Cas {
+        /// The key to compare and set.
+        key: i64,
+        /// Value the key must currently hold (`None` = absent).
+        expected: Option<i64>,
+        /// Value to store on match (`None` removes the key).
+        new: Option<i64>,
+    },
+    /// An atomic multi-key batch, applied through the backend's
+    /// transaction machinery (cross-shard two-phase commit on the
+    /// sharded map).
+    Batch(Vec<BatchOp<i64, i64>>),
+    /// Take a coherent snapshot and pin it in the server's version table;
+    /// the reply names it with a [`SnapshotId`] for later [`Request::Range`]
+    /// and [`Request::Diff`] calls.
+    Snapshot,
+    /// Ordered key-range scan.
+    Range {
+        /// Named snapshot to scan, or `None` to scan a fresh coherent
+        /// snapshot taken just for this request.
+        snapshot: Option<SnapshotId>,
+        /// Lower key bound.
+        lo: Bound<i64>,
+        /// Upper key bound.
+        hi: Bound<i64>,
+        /// Maximum number of entries to return (`0` = unlimited).
+        limit: u32,
+    },
+    /// Difference between two snapshots, in ascending key order.
+    Diff {
+        /// The older named snapshot.
+        from: SnapshotId,
+        /// The newer named snapshot, or `None` for a fresh snapshot taken
+        /// now — "what changed since `from`".
+        to: Option<SnapshotId>,
+    },
+    /// Drop a named snapshot from the version table.
+    Release {
+        /// The snapshot to drop.
+        snapshot: SnapshotId,
+    },
+    /// Read the backend's operation statistics and the server's
+    /// version-table size.
+    Stats,
+}
+
+/// A server-to-client message; variants mirror [`Request`] one-to-one
+/// plus [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Get`]: the value, if present.
+    Got(Option<i64>),
+    /// Reply to [`Request::Insert`]: the previous value, if any.
+    Inserted(Option<i64>),
+    /// Reply to [`Request::Remove`]: the removed value, if any.
+    Removed(Option<i64>),
+    /// Reply to [`Request::Cas`]: whether the comparison matched and the
+    /// write was applied.
+    CasApplied(bool),
+    /// Reply to [`Request::Batch`]: one result per op, in batch order.
+    Batch(Vec<BatchResult<i64>>),
+    /// Reply to [`Request::Snapshot`]: the new snapshot's id.
+    SnapshotTaken(SnapshotId),
+    /// Reply to [`Request::Range`].
+    Entries {
+        /// The entries, in ascending key order.
+        entries: Vec<(i64, i64)>,
+        /// `false` if the scan stopped at the requested limit with more
+        /// entries remaining.
+        complete: bool,
+    },
+    /// Reply to [`Request::Diff`].
+    Diff(Vec<DiffEntry<i64, i64>>),
+    /// Reply to [`Request::Release`]: whether the snapshot existed.
+    Released(bool),
+    /// Reply to [`Request::Stats`].
+    Stats(WireStats),
+    /// The request could not be served.
+    Error(WireError),
+}
+
+/// Backend and server statistics carried by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Completed update operations.
+    pub ops: u64,
+    /// Total CAS-loop attempts across all updates.
+    pub attempts: u64,
+    /// Failed root CASes.
+    pub cas_failures: u64,
+    /// Updates that changed nothing and skipped the CAS.
+    pub noop_updates: u64,
+    /// Read-only operations.
+    pub reads: u64,
+    /// Roots installed through the multi-shard freeze hook.
+    pub frozen_installs: u64,
+    /// Backed-out freeze passes of cross-shard commits.
+    pub freeze_retries: u64,
+    /// Entry count (weakly consistent on sharded backends).
+    pub len: u64,
+    /// Named snapshots currently pinned in the server's version table.
+    pub snapshots: u64,
+}
+
+/// Error replies a server can send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// A [`Request::Range`]/[`Request::Diff`]/[`Request::Release`] named
+    /// a snapshot id that is not in the version table (never issued, or
+    /// already released).
+    UnknownSnapshot(SnapshotId),
+    /// The two snapshots of a [`Request::Diff`] come from incompatible
+    /// backends and cannot be diffed.
+    SnapshotMismatch,
+    /// The server could not decode the request frame.
+    Malformed,
+    /// The reply would exceed [`MAX_FRAME_LEN`] and was not sent; nothing
+    /// was written, so the connection stays usable — page with
+    /// [`Request::Range`]'s `limit`, or diff nearer snapshots.
+    TooLarge,
+    /// The server's version table is full (the payload is the cap);
+    /// [`Request::Release`] unused snapshots to free slots.
+    SnapshotLimit(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownSnapshot(id) => write!(f, "unknown snapshot id {id}"),
+            WireError::SnapshotMismatch => write!(f, "snapshots are not diffable"),
+            WireError::Malformed => write!(f, "malformed request frame"),
+            WireError::TooLarge => write!(
+                f,
+                "reply would exceed the {MAX_FRAME_LEN}-byte frame cap; page the request"
+            ),
+            WireError::SnapshotLimit(cap) => {
+                write!(f, "version table full ({cap} snapshots); release some")
+            }
+        }
+    }
+}
+
+/// Why a frame failed to decode (or to be read off the wire).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The frame ended before the message did.
+    Truncated,
+    /// The frame's version byte is not [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// An unknown discriminant byte.
+    BadTag {
+        /// Which discriminant was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// The message decoded but left unconsumed bytes in the frame.
+    TrailingBytes {
+        /// Number of leftover bytes.
+        extra: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated mid-message"),
+            ProtoError::BadVersion(v) => {
+                write!(f, "protocol version {v} (expected {PROTO_VERSION})")
+            }
+            ProtoError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            ProtoError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after message")
+            }
+            ProtoError::FrameTooLarge(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_opt_i64(out: &mut Vec<u8>, v: Option<i64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_i64(out, x);
+        }
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn put_bound(out: &mut Vec<u8>, b: Bound<i64>) {
+    match b {
+        Bound::Unbounded => out.push(0),
+        Bound::Included(k) => {
+            out.push(1);
+            put_i64(out, k);
+        }
+        Bound::Excluded(k) => {
+            out.push(2);
+            put_i64(out, k);
+        }
+    }
+}
+
+fn put_batch_op(out: &mut Vec<u8>, op: &BatchOp<i64, i64>) {
+    match op {
+        BatchOp::Get(k) => {
+            out.push(0);
+            put_i64(out, *k);
+        }
+        BatchOp::Insert(k, v) => {
+            out.push(1);
+            put_i64(out, *k);
+            put_i64(out, *v);
+        }
+        BatchOp::Remove(k) => {
+            out.push(2);
+            put_i64(out, *k);
+        }
+        BatchOp::Cas { key, expected, new } => {
+            out.push(3);
+            put_i64(out, *key);
+            put_opt_i64(out, *expected);
+            put_opt_i64(out, *new);
+        }
+    }
+}
+
+fn put_batch_result(out: &mut Vec<u8>, r: &BatchResult<i64>) {
+    match r {
+        BatchResult::Got(v) => {
+            out.push(0);
+            put_opt_i64(out, *v);
+        }
+        BatchResult::Inserted(v) => {
+            out.push(1);
+            put_opt_i64(out, *v);
+        }
+        BatchResult::Removed(v) => {
+            out.push(2);
+            put_opt_i64(out, *v);
+        }
+        BatchResult::Cas(ok) => {
+            out.push(3);
+            put_bool(out, *ok);
+        }
+    }
+}
+
+fn put_diff_entry(out: &mut Vec<u8>, e: &DiffEntry<i64, i64>) {
+    match e {
+        DiffEntry::Added(k, v) => {
+            out.push(0);
+            put_i64(out, *k);
+            put_i64(out, *v);
+        }
+        DiffEntry::Removed(k, v) => {
+            out.push(1);
+            put_i64(out, *k);
+            put_i64(out, *v);
+        }
+        DiffEntry::Changed(k, old, new) => {
+            out.push(2);
+            put_i64(out, *k);
+            put_i64(out, *old);
+            put_i64(out, *new);
+        }
+    }
+}
+
+/// A bounds-checked read cursor over one frame body.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ProtoError::BadTag { what: "bool", tag }),
+        }
+    }
+
+    fn opt_i64(&mut self) -> Result<Option<i64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.i64()?)),
+            tag => Err(ProtoError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            tag => Err(ProtoError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+
+    fn bound(&mut self) -> Result<Bound<i64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(Bound::Unbounded),
+            1 => Ok(Bound::Included(self.i64()?)),
+            2 => Ok(Bound::Excluded(self.i64()?)),
+            tag => Err(ProtoError::BadTag { what: "bound", tag }),
+        }
+    }
+
+    /// Reads a `u32` element count, sanity-bounded by the bytes actually
+    /// remaining so a corrupt count cannot pre-allocate gigabytes.
+    fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes) > self.buf.len() - self.pos {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn batch_op(&mut self) -> Result<BatchOp<i64, i64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(BatchOp::Get(self.i64()?)),
+            1 => Ok(BatchOp::Insert(self.i64()?, self.i64()?)),
+            2 => Ok(BatchOp::Remove(self.i64()?)),
+            3 => Ok(BatchOp::Cas {
+                key: self.i64()?,
+                expected: self.opt_i64()?,
+                new: self.opt_i64()?,
+            }),
+            tag => Err(ProtoError::BadTag {
+                what: "batch op",
+                tag,
+            }),
+        }
+    }
+
+    fn batch_result(&mut self) -> Result<BatchResult<i64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(BatchResult::Got(self.opt_i64()?)),
+            1 => Ok(BatchResult::Inserted(self.opt_i64()?)),
+            2 => Ok(BatchResult::Removed(self.opt_i64()?)),
+            3 => Ok(BatchResult::Cas(self.bool()?)),
+            tag => Err(ProtoError::BadTag {
+                what: "batch result",
+                tag,
+            }),
+        }
+    }
+
+    fn diff_entry(&mut self) -> Result<DiffEntry<i64, i64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(DiffEntry::Added(self.i64()?, self.i64()?)),
+            1 => Ok(DiffEntry::Removed(self.i64()?, self.i64()?)),
+            2 => Ok(DiffEntry::Changed(self.i64()?, self.i64()?, self.i64()?)),
+            tag => Err(ProtoError::BadTag {
+                what: "diff entry",
+                tag,
+            }),
+        }
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Serializes the message into a frame body (version + tag + payload,
+    /// without the length prefix).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(PROTO_VERSION);
+        match self {
+            Request::Get { key } => {
+                out.push(1);
+                put_i64(out, *key);
+            }
+            Request::Insert { key, value } => {
+                out.push(2);
+                put_i64(out, *key);
+                put_i64(out, *value);
+            }
+            Request::Remove { key } => {
+                out.push(3);
+                put_i64(out, *key);
+            }
+            Request::Cas { key, expected, new } => {
+                out.push(4);
+                put_i64(out, *key);
+                put_opt_i64(out, *expected);
+                put_opt_i64(out, *new);
+            }
+            Request::Batch(ops) => {
+                out.push(5);
+                put_u32(out, ops.len() as u32);
+                for op in ops {
+                    put_batch_op(out, op);
+                }
+            }
+            Request::Snapshot => out.push(6),
+            Request::Range {
+                snapshot,
+                lo,
+                hi,
+                limit,
+            } => {
+                out.push(7);
+                put_opt_u64(out, *snapshot);
+                put_bound(out, *lo);
+                put_bound(out, *hi);
+                put_u32(out, *limit);
+            }
+            Request::Diff { from, to } => {
+                out.push(8);
+                put_u64(out, *from);
+                put_opt_u64(out, *to);
+            }
+            Request::Release { snapshot } => {
+                out.push(9);
+                put_u64(out, *snapshot);
+            }
+            Request::Stats => out.push(10),
+        }
+    }
+
+    /// Parses a frame body produced by [`encode`](Self::encode),
+    /// rejecting bad versions, unknown tags, truncation, and trailing
+    /// bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, ProtoError> {
+        let mut cur = Cur::new(body);
+        let version = cur.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let req = match cur.u8()? {
+            1 => Request::Get { key: cur.i64()? },
+            2 => Request::Insert {
+                key: cur.i64()?,
+                value: cur.i64()?,
+            },
+            3 => Request::Remove { key: cur.i64()? },
+            4 => Request::Cas {
+                key: cur.i64()?,
+                expected: cur.opt_i64()?,
+                new: cur.opt_i64()?,
+            },
+            5 => {
+                let n = cur.seq_len(9)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(cur.batch_op()?);
+                }
+                Request::Batch(ops)
+            }
+            6 => Request::Snapshot,
+            7 => Request::Range {
+                snapshot: cur.opt_u64()?,
+                lo: cur.bound()?,
+                hi: cur.bound()?,
+                limit: cur.u32()?,
+            },
+            8 => Request::Diff {
+                from: cur.u64()?,
+                to: cur.opt_u64()?,
+            },
+            9 => Request::Release {
+                snapshot: cur.u64()?,
+            },
+            10 => Request::Stats,
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "request",
+                    tag,
+                })
+            }
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response
+// ---------------------------------------------------------------------------
+
+impl Response {
+    /// Serializes the message into a frame body (version + tag + payload,
+    /// without the length prefix).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(PROTO_VERSION);
+        match self {
+            Response::Got(v) => {
+                out.push(1);
+                put_opt_i64(out, *v);
+            }
+            Response::Inserted(v) => {
+                out.push(2);
+                put_opt_i64(out, *v);
+            }
+            Response::Removed(v) => {
+                out.push(3);
+                put_opt_i64(out, *v);
+            }
+            Response::CasApplied(ok) => {
+                out.push(4);
+                put_bool(out, *ok);
+            }
+            Response::Batch(results) => {
+                out.push(5);
+                put_u32(out, results.len() as u32);
+                for r in results {
+                    put_batch_result(out, r);
+                }
+            }
+            Response::SnapshotTaken(id) => {
+                out.push(6);
+                put_u64(out, *id);
+            }
+            Response::Entries { entries, complete } => {
+                out.push(7);
+                put_u32(out, entries.len() as u32);
+                for (k, v) in entries {
+                    put_i64(out, *k);
+                    put_i64(out, *v);
+                }
+                put_bool(out, *complete);
+            }
+            Response::Diff(entries) => {
+                out.push(8);
+                put_u32(out, entries.len() as u32);
+                for e in entries {
+                    put_diff_entry(out, e);
+                }
+            }
+            Response::Released(existed) => {
+                out.push(9);
+                put_bool(out, *existed);
+            }
+            Response::Stats(s) => {
+                out.push(10);
+                put_u64(out, s.ops);
+                put_u64(out, s.attempts);
+                put_u64(out, s.cas_failures);
+                put_u64(out, s.noop_updates);
+                put_u64(out, s.reads);
+                put_u64(out, s.frozen_installs);
+                put_u64(out, s.freeze_retries);
+                put_u64(out, s.len);
+                put_u64(out, s.snapshots);
+            }
+            Response::Error(e) => {
+                out.push(11);
+                match e {
+                    WireError::UnknownSnapshot(id) => {
+                        out.push(0);
+                        put_u64(out, *id);
+                    }
+                    WireError::SnapshotMismatch => out.push(1),
+                    WireError::Malformed => out.push(2),
+                    WireError::TooLarge => out.push(3),
+                    WireError::SnapshotLimit(cap) => {
+                        out.push(4);
+                        put_u64(out, *cap);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses a frame body produced by [`encode`](Self::encode), with the
+    /// same strictness as [`Request::decode`].
+    pub fn decode(body: &[u8]) -> Result<Self, ProtoError> {
+        let mut cur = Cur::new(body);
+        let version = cur.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let resp = match cur.u8()? {
+            1 => Response::Got(cur.opt_i64()?),
+            2 => Response::Inserted(cur.opt_i64()?),
+            3 => Response::Removed(cur.opt_i64()?),
+            4 => Response::CasApplied(cur.bool()?),
+            5 => {
+                let n = cur.seq_len(2)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(cur.batch_result()?);
+                }
+                Response::Batch(results)
+            }
+            6 => Response::SnapshotTaken(cur.u64()?),
+            7 => {
+                let n = cur.seq_len(16)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((cur.i64()?, cur.i64()?));
+                }
+                Response::Entries {
+                    entries,
+                    complete: cur.bool()?,
+                }
+            }
+            8 => {
+                let n = cur.seq_len(17)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(cur.diff_entry()?);
+                }
+                Response::Diff(entries)
+            }
+            9 => Response::Released(cur.bool()?),
+            10 => Response::Stats(WireStats {
+                ops: cur.u64()?,
+                attempts: cur.u64()?,
+                cas_failures: cur.u64()?,
+                noop_updates: cur.u64()?,
+                reads: cur.u64()?,
+                frozen_installs: cur.u64()?,
+                freeze_retries: cur.u64()?,
+                len: cur.u64()?,
+                snapshots: cur.u64()?,
+            }),
+            11 => Response::Error(match cur.u8()? {
+                0 => WireError::UnknownSnapshot(cur.u64()?),
+                1 => WireError::SnapshotMismatch,
+                2 => WireError::Malformed,
+                3 => WireError::TooLarge,
+                4 => WireError::SnapshotLimit(cur.u64()?),
+                tag => return Err(ProtoError::BadTag { what: "error", tag }),
+            }),
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "response",
+                    tag,
+                })
+            }
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame. The caller flushes.
+///
+/// A body over [`MAX_FRAME_LEN`] fails with [`io::ErrorKind::InvalidData`]
+/// **before any byte is written**, so the stream stays at a frame
+/// boundary and the caller can send a substitute message (the server
+/// answers [`WireError::TooLarge`]).
+fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds MAX_FRAME_LEN", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one length-prefixed frame body. `Ok(None)` means the peer
+/// closed the connection cleanly at a frame boundary.
+fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled read_exact for the prefix so a clean EOF before the
+    // first byte is distinguishable from EOF mid-prefix.
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(ProtoError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::FrameTooLarge(len));
+    }
+    if len < 2 {
+        // A valid body always has at least a version and a tag byte.
+        return Err(ProtoError::Truncated);
+    }
+    let mut body = vec![0u8; len as usize];
+    match r.read_exact(&mut body) {
+        Ok(()) => Ok(Some(body)),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ProtoError::Truncated),
+        Err(e) => Err(ProtoError::Io(e)),
+    }
+}
+
+/// Writes one request frame (the caller flushes buffered writers).
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    let mut body = Vec::with_capacity(32);
+    req.encode(&mut body);
+    write_frame(w, &body)
+}
+
+/// Reads one request frame; `Ok(None)` on clean connection close.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, ProtoError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(body) => Request::decode(&body).map(Some),
+    }
+}
+
+/// Writes one response frame (the caller flushes buffered writers).
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    let mut body = Vec::with_capacity(64);
+    resp.encode(&mut body);
+    write_frame(w, &body)
+}
+
+/// Reads one response frame. A close mid-conversation is an error — the
+/// client was owed a reply.
+pub fn read_response<R: Read>(r: &mut R) -> Result<Response, ProtoError> {
+    match read_frame(r)? {
+        None => Err(ProtoError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed while awaiting a response",
+        ))),
+        Some(body) => Response::decode(&body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).unwrap();
+        let mut r = &buf[..];
+        let back = read_request(&mut r).unwrap().unwrap();
+        assert!(r.is_empty(), "frame fully consumed");
+        back
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        let mut r = &buf[..];
+        let back = read_response(&mut r).unwrap();
+        assert!(r.is_empty(), "frame fully consumed");
+        back
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = [
+            Request::Get { key: -7 },
+            Request::Insert { key: 1, value: 2 },
+            Request::Remove { key: i64::MIN },
+            Request::Cas {
+                key: 3,
+                expected: Some(i64::MAX),
+                new: None,
+            },
+            Request::Batch(vec![
+                BatchOp::Get(1),
+                BatchOp::Insert(2, 20),
+                BatchOp::Remove(3),
+                BatchOp::Cas {
+                    key: 4,
+                    expected: None,
+                    new: Some(40),
+                },
+            ]),
+            Request::Snapshot,
+            Request::Range {
+                snapshot: Some(9),
+                lo: Bound::Included(-5),
+                hi: Bound::Excluded(5),
+                limit: 128,
+            },
+            Request::Range {
+                snapshot: None,
+                lo: Bound::Unbounded,
+                hi: Bound::Unbounded,
+                limit: 0,
+            },
+            Request::Diff {
+                from: 1,
+                to: Some(2),
+            },
+            Request::Diff { from: 3, to: None },
+            Request::Release { snapshot: 11 },
+            Request::Stats,
+        ];
+        for req in reqs {
+            assert_eq!(roundtrip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = [
+            Response::Got(Some(4)),
+            Response::Inserted(None),
+            Response::Removed(Some(-1)),
+            Response::CasApplied(true),
+            Response::Batch(vec![
+                BatchResult::Got(None),
+                BatchResult::Inserted(Some(1)),
+                BatchResult::Removed(None),
+                BatchResult::Cas(false),
+            ]),
+            Response::SnapshotTaken(42),
+            Response::Entries {
+                entries: vec![(1, 10), (2, 20)],
+                complete: false,
+            },
+            Response::Diff(vec![
+                DiffEntry::Added(1, 10),
+                DiffEntry::Removed(2, 20),
+                DiffEntry::Changed(3, 30, 31),
+            ]),
+            Response::Released(true),
+            Response::Stats(WireStats {
+                ops: 1,
+                attempts: 2,
+                cas_failures: 3,
+                noop_updates: 4,
+                reads: 5,
+                frozen_installs: 6,
+                freeze_retries: 7,
+                len: 8,
+                snapshots: 9,
+            }),
+            Response::Error(WireError::UnknownSnapshot(77)),
+            Response::Error(WireError::SnapshotMismatch),
+            Response::Error(WireError::Malformed),
+            Response::Error(WireError::TooLarge),
+            Response::Error(WireError::SnapshotLimit(512)),
+        ];
+        for resp in resps {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_is_truncated() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_request(&mut empty), Ok(None)));
+
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                matches!(read_request(&mut r), Err(ProtoError::Truncated)),
+                "cut at {cut} must be Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_and_bad_tag_are_rejected() {
+        let err = Request::decode(&[PROTO_VERSION + 1, 1]).unwrap_err();
+        assert!(matches!(err, ProtoError::BadVersion(_)));
+
+        let err = Request::decode(&[PROTO_VERSION, 0xEE]).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtoError::BadTag {
+                what: "request",
+                ..
+            }
+        ));
+
+        let err = Response::decode(&[PROTO_VERSION, 0xEE]).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtoError::BadTag {
+                what: "response",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Vec::new();
+        Request::Get { key: 5 }.encode(&mut body);
+        body.push(0);
+        assert!(matches!(
+            Request::decode(&body),
+            Err(ProtoError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_request(&mut r),
+            Err(ProtoError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_reply_body_fails_before_any_byte_is_written() {
+        // ~1.1M entries at 16 bytes each overflow the 16 MiB frame cap.
+        let huge = Response::Entries {
+            entries: vec![(0, 0); (MAX_FRAME_LEN as usize / 16) + 1],
+            complete: true,
+        };
+        let mut buf = Vec::new();
+        let err = write_response(&mut buf, &huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(buf.is_empty(), "stream must stay at a frame boundary");
+    }
+
+    #[test]
+    fn corrupt_sequence_length_is_truncated_not_oom() {
+        // A Batch frame claiming u32::MAX ops with a near-empty payload
+        // must fail cleanly instead of attempting a giant allocation.
+        let mut body = vec![PROTO_VERSION, 5];
+        put_u32(&mut body, u32::MAX);
+        assert!(matches!(Request::decode(&body), Err(ProtoError::Truncated)));
+    }
+}

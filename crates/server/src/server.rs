@@ -1,0 +1,503 @@
+//! The threaded TCP server: accept loop, connection workers, and the
+//! named-snapshot version table.
+//!
+//! [`spawn`] binds a listener (an ephemeral loopback port by default),
+//! starts an accept thread, and hands each connection to a fixed
+//! [`ThreadPool`] worker that speaks the [`proto`](crate::proto) framing
+//! in a blocking request/response loop. The server is generic over its
+//! engine through `Box<dyn ServeBackend>` — any backend of the registry
+//! ([`crate::backend::backends`]) can be served unchanged.
+//!
+//! The **version table** is what makes the serving layer more than a
+//! remote hash map: a [`Request::Snapshot`] pins a coherent snapshot
+//! under a fresh [`SnapshotId`], and later [`Request::Range`] /
+//! [`Request::Diff`] calls — from *any* connection — read that frozen
+//! version while writers race ahead. This is the paper's O(1)-snapshot
+//! property exposed over the network: pinning a version costs an `Arc`
+//! clone per shard root, never a copy of the data, and holding one never
+//! blocks a writer.
+//!
+//! Shutdown ([`ServerHandle::shutdown`], also run on drop) is
+//! deterministic: the stop flag is raised, every registered connection
+//! socket is shut down to unblock its worker, a wake connection unblocks
+//! `accept`, and the accept thread joins the pool before exiting.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::backend::{ServeBackend, ServeSnapshot};
+use crate::pool::ThreadPool;
+use crate::proto::{
+    read_request, write_response, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
+};
+
+/// Tunables for [`spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; the default is an ephemeral loopback port
+    /// (`127.0.0.1:0`), read back via [`ServerHandle::addr`].
+    pub addr: SocketAddr,
+    /// Connection worker threads. Each worker owns one connection at a
+    /// time, so this bounds concurrent connections.
+    pub workers: usize,
+    /// Capacity of the version table. Every pinned snapshot keeps an
+    /// entire map version alive under write churn, and nothing but an
+    /// explicit [`Request::Release`] unpins one (snapshots deliberately
+    /// outlive their connection), so the table is capped: a
+    /// [`Request::Snapshot`] beyond the cap is refused with
+    /// [`WireError::SnapshotLimit`].
+    pub max_snapshots: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 4,
+            max_snapshots: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// [`Default::default`] with a different worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServerConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection worker.
+struct Shared {
+    backend: Box<dyn ServeBackend>,
+    /// The version table: named snapshot handles pinned by
+    /// [`Request::Snapshot`], readable from any connection until
+    /// released.
+    snapshots: Mutex<HashMap<SnapshotId, Arc<dyn ServeSnapshot>>>,
+    next_snapshot: AtomicU64,
+    max_snapshots: usize,
+    /// Open-connection registry (`try_clone` handles), kept so shutdown
+    /// can unblock workers parked in a blocking read.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    requests: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A running server; dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop and joins every
+/// worker.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Binds `config.addr` and serves `backend` until the handle is dropped.
+///
+/// # Examples
+///
+/// ```
+/// use pathcopy_server::{backend, Client, ServerConfig};
+///
+/// let server = pathcopy_server::spawn(
+///     backend::by_name("sharded_map_8").unwrap(),
+///     ServerConfig::default(),
+/// )
+/// .unwrap();
+/// let mut client = Client::connect(server.addr()).unwrap();
+/// assert_eq!(client.insert(1, 10).unwrap(), None);
+/// assert_eq!(client.get(1).unwrap(), Some(10));
+/// server.shutdown();
+/// ```
+pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        backend,
+        snapshots: Mutex::new(HashMap::new()),
+        next_snapshot: AtomicU64::new(0),
+        max_snapshots: config.max_snapshots,
+        conns: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let workers = config.workers;
+    let accept = std::thread::Builder::new()
+        .name("pathcopy-server-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared, workers))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests served so far, across all connections.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// The served engine, for in-process inspection (demos, tests).
+    pub fn backend(&self) -> &dyn ServeBackend {
+        self.shared.backend.as_ref()
+    }
+
+    /// Stops accepting, unblocks and joins every connection worker, and
+    /// returns once the server is fully down. Also performed on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock workers parked in a read on an open connection.
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept call itself with a wake connection. An
+        // unspecified bind address (0.0.0.0 / ::) is not connectable on
+        // every platform, so aim the wake at loopback on the bound port;
+        // a short timeout keeps shutdown from hanging on an unreachable
+        // interface.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            match wake {
+                SocketAddr::V4(_) => wake.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => wake.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_millis(500));
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, workers: usize) {
+    let pool = ThreadPool::new(workers);
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(id, clone);
+        }
+        let shared = Arc::clone(&shared);
+        pool.execute(move || {
+            handle_connection(stream, &shared);
+            shared.conns.lock().remove(&id);
+        });
+    }
+    // Connections registered after shutdown's drain still need their
+    // sockets closed, or the pool join below would wait on their reads.
+    for (_, conn) in shared.conns.lock().drain() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    drop(pool); // joins the workers
+}
+
+/// One connection's blocking request/response loop.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close
+            Ok(Some(req)) => {
+                let resp = handle_request(shared, req);
+                let sent = match write_response(&mut writer, &resp) {
+                    Ok(()) => true,
+                    // The reply overflowed the frame cap; nothing hit the
+                    // stream, so substitute a TooLarge error and keep the
+                    // connection — the client can page the request.
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        write_response(&mut writer, &Response::Error(WireError::TooLarge)).is_ok()
+                    }
+                    Err(_) => false,
+                };
+                if !sent || writer.flush().is_err() {
+                    return;
+                }
+            }
+            // Transport failure (peer reset, shutdown): nothing to say.
+            Err(ProtoError::Io(_)) => return,
+            // Framing/decoding failure: tell the peer, then drop the
+            // connection — the stream position can no longer be trusted.
+            Err(_) => {
+                let _ = write_response(&mut writer, &Response::Error(WireError::Malformed));
+                let _ = writer.flush();
+                return;
+            }
+        }
+    }
+}
+
+/// Resolves an optional snapshot id: `None` takes a fresh coherent
+/// snapshot, `Some` looks up the version table.
+fn resolve_snapshot(
+    shared: &Shared,
+    id: Option<SnapshotId>,
+) -> Result<Arc<dyn ServeSnapshot>, WireError> {
+    match id {
+        None => Ok(shared.backend.snapshot()),
+        Some(id) => shared
+            .snapshots
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(WireError::UnknownSnapshot(id)),
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    match req {
+        Request::Get { key } => Response::Got(shared.backend.get(key)),
+        Request::Insert { key, value } => Response::Inserted(shared.backend.insert(key, value)),
+        Request::Remove { key } => Response::Removed(shared.backend.remove(key)),
+        Request::Cas { key, expected, new } => {
+            Response::CasApplied(shared.backend.cas(key, expected, new))
+        }
+        Request::Batch(ops) => Response::Batch(shared.backend.transact(&ops)),
+        Request::Snapshot => {
+            let mut table = shared.snapshots.lock();
+            if table.len() >= shared.max_snapshots {
+                return Response::Error(WireError::SnapshotLimit(shared.max_snapshots as u64));
+            }
+            let snap = shared.backend.snapshot();
+            let id = shared.next_snapshot.fetch_add(1, Ordering::Relaxed) + 1;
+            table.insert(id, snap);
+            Response::SnapshotTaken(id)
+        }
+        Request::Range {
+            snapshot,
+            lo,
+            hi,
+            limit,
+        } => match resolve_snapshot(shared, snapshot) {
+            Err(e) => Response::Error(e),
+            Ok(snap) => {
+                let (entries, complete) = snap.range(lo, hi, limit as usize);
+                Response::Entries { entries, complete }
+            }
+        },
+        Request::Diff { from, to } => {
+            let old = match resolve_snapshot(shared, Some(from)) {
+                Ok(s) => s,
+                Err(e) => return Response::Error(e),
+            };
+            let new = match resolve_snapshot(shared, to) {
+                Ok(s) => s,
+                Err(e) => return Response::Error(e),
+            };
+            match old.diff(new.as_ref()) {
+                Some(diff) => Response::Diff(diff),
+                None => Response::Error(WireError::SnapshotMismatch),
+            }
+        }
+        Request::Release { snapshot } => {
+            Response::Released(shared.snapshots.lock().remove(&snapshot).is_some())
+        }
+        Request::Stats => {
+            let s = shared.backend.stats();
+            Response::Stats(WireStats {
+                ops: s.ops,
+                attempts: s.attempts,
+                cas_failures: s.cas_failures,
+                noop_updates: s.noop_updates,
+                reads: s.reads,
+                frozen_installs: s.frozen_installs,
+                freeze_retries: s.freeze_retries,
+                len: shared.backend.len() as u64,
+                snapshots: shared.snapshots.lock().len() as u64,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ShardedServe;
+    use crate::client::Client;
+
+    fn sharded_server() -> ServerHandle {
+        spawn(
+            Box::new(ShardedServe::with_shards(8)),
+            ServerConfig::default(),
+        )
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn point_ops_roundtrip_over_loopback() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.insert(1, 10).unwrap(), None);
+        assert_eq!(c.insert(1, 11).unwrap(), Some(10));
+        assert_eq!(c.get(1).unwrap(), Some(11));
+        assert!(c.cas(1, Some(11), Some(12)).unwrap());
+        assert!(!c.cas(1, Some(11), Some(13)).unwrap());
+        assert_eq!(c.remove(1).unwrap(), Some(12));
+        assert_eq!(c.get(1).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_table_serves_all_connections() {
+        let server = sharded_server();
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        for k in 0..32 {
+            a.insert(k, k * 10).unwrap();
+        }
+        let snap = a.snapshot().unwrap();
+        // The other connection can read the pinned version by id.
+        let (entries, complete) = b.range(Some(snap), .., 0).unwrap();
+        assert_eq!(entries.len(), 32);
+        assert!(complete);
+        // Release from the second connection, too.
+        assert!(b.release(snap).unwrap());
+        assert!(!a.release(snap).unwrap(), "double release reports absence");
+        let err = a.range(Some(snap), .., 0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Server(WireError::UnknownSnapshot(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn range_limit_reports_truncation() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for k in 0..100 {
+            c.insert(k, k).unwrap();
+        }
+        let (page, complete) = c.range(None, .., 10).unwrap();
+        assert_eq!(page.len(), 10);
+        assert!(!complete);
+        assert!(page.windows(2).all(|w| w[0].0 < w[1].0), "ordered");
+        let (rest, complete) = c.range(None, 90.., 0).unwrap();
+        assert_eq!(rest.len(), 10);
+        assert!(complete);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_count_ops_and_snapshots() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for k in 0..10 {
+            c.insert(k, k).unwrap();
+        }
+        let _snap = c.snapshot().unwrap();
+        let stats = c.stats().unwrap();
+        assert!(stats.ops >= 10);
+        assert_eq!(stats.len, 10);
+        assert_eq!(stats.snapshots, 1);
+        assert!(server.requests_served() >= 12);
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_table_is_capped() {
+        let server = spawn(
+            Box::new(ShardedServe::with_shards(2)),
+            ServerConfig {
+                max_snapshots: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let ids: Vec<_> = (0..3).map(|_| c.snapshot().unwrap()).collect();
+        let err = c.snapshot().unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Server(WireError::SnapshotLimit(3))
+        ));
+        assert!(c.release(ids[0]).unwrap(), "release frees a slot");
+        c.snapshot().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_error_then_close() {
+        use std::io::{Read as _, Write as _};
+        let server = sharded_server();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        // A framed body with a bogus request tag.
+        let body = [crate::proto::PROTO_VERSION, 0xEE];
+        raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&body).unwrap();
+        let resp = crate::proto::read_response(&mut raw).unwrap();
+        assert_eq!(resp, Response::Error(WireError::Malformed));
+        // The server then closes the stream.
+        let mut rest = Vec::new();
+        assert_eq!(raw.read_to_end(&mut rest).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_parked_connections() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.insert(1, 1).unwrap();
+        // `c` stays connected with its worker parked in a read; shutdown
+        // must not hang on it.
+        server.shutdown();
+        assert!(c.get(1).is_err(), "connection is dead after shutdown");
+    }
+
+    #[test]
+    fn more_connections_than_workers_are_served_in_turn() {
+        let server = spawn(
+            Box::new(ShardedServe::with_shards(4)),
+            ServerConfig::with_workers(2),
+        )
+        .unwrap();
+        // Sequential connect/use/drop cycles: each frees its worker for
+        // the next, so 6 connections pass through 2 workers.
+        for round in 0..6 {
+            let mut c = Client::connect(server.addr()).unwrap();
+            assert_eq!(c.insert(round, round).unwrap(), None);
+        }
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.stats().unwrap().len, 6);
+        server.shutdown();
+    }
+}

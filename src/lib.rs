@@ -20,6 +20,10 @@
 //! * [`pathcopy_sim`] — the Appendix-A model: private LRU caches,
 //!   synchronous processes, closed-form speedup.
 //! * [`pathcopy_workloads`] — the §4 Batch/Random workload generators.
+//! * [`pathcopy_server`] — the serving layer: a length-prefixed binary
+//!   wire protocol, a thread-pooled blocking TCP server generic over the
+//!   backend registry, a reusable client, and the `loadgen` traffic
+//!   generator (`std::net` only — no async runtime).
 //!
 //! ## Choosing a backend
 //!
@@ -168,6 +172,51 @@
 //! See `cargo run --release --example batch_txn_demo` and
 //! `cargo bench --bench batch_txn`.
 //!
+//! ## Serving the map over the network
+//!
+//! The properties above are exactly what a read-heavy serving system
+//! wants — lock-free point writes racing ahead while scans and diffs run
+//! on frozen versions — so the workspace ships them as a TCP service.
+//! [`pathcopy_server`] speaks a hand-rolled length-prefixed binary
+//! protocol (no serde, no async runtime) and serves any registry backend
+//! behind `Box<dyn ServeBackend>`. A `Snapshot` request pins a coherent
+//! version in the server's table for the cost of an `Arc` clone per
+//! shard root; `Range` and `Diff` requests — from any connection — then
+//! read that immutable version while writers keep committing, and
+//! `Batch` frames commit all-or-nothing through the sharded map's
+//! cross-shard `transact`:
+//!
+//! ```
+//! use pathcopy_server::{backend, Client, ServerConfig};
+//!
+//! // In-process server over the sharded map, on an ephemeral port.
+//! let server = pathcopy_server::spawn(
+//!     backend::by_name("sharded_map_8").unwrap(),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.insert(1, 10).unwrap();
+//! let pinned = client.snapshot().unwrap(); // O(1), held in the version table
+//! client.insert(1, 99).unwrap();
+//! client.insert(2, 20).unwrap();
+//!
+//! // The pinned version is immutable under the writes above...
+//! let (entries, _) = client.range(Some(pinned), .., 0).unwrap();
+//! assert_eq!(entries, vec![(1, 10)]);
+//! // ...and the wire diff is the change, not the map.
+//! let diff = client.diff(pinned, None).unwrap();
+//! assert_eq!(diff.len(), 2);
+//! server.shutdown();
+//! ```
+//!
+//! Drive it: `cargo run --release --bin loadgen -- --threads 8
+//! --ops 100000` (Zipf read/write mix, throughput + latency table,
+//! optional `--json` in the bench-trend schema);
+//! `cargo run --release --example kv_server_demo`;
+//! `cargo bench --bench server_rtt`.
+//!
 //! ## Building and testing
 //!
 //! The workspace is self-contained — external dependencies are vendored
@@ -184,6 +233,7 @@
 
 pub use pathcopy_concurrent;
 pub use pathcopy_core;
+pub use pathcopy_server;
 pub use pathcopy_sim;
 pub use pathcopy_trees;
 pub use pathcopy_workloads;
