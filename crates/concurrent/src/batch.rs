@@ -54,7 +54,7 @@ use std::collections::BTreeMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use pathcopy_core::{BackoffPolicy, Update};
+use pathcopy_core::{BackoffPolicy, DiffEntry, Update};
 use pathcopy_trees::TreapMap as PTreapMap;
 
 use crate::sharded::{shard_index, ShardedTreapMap};
@@ -103,6 +103,61 @@ pub enum BatchResult<V> {
     /// Result of a [`BatchOp::Cas`]: whether the comparison matched and
     /// the write was applied.
     Cas(bool),
+}
+
+/// Converts a snapshot-to-snapshot diff into the batch that replays it:
+/// `Added`/`Changed` become [`BatchOp::Insert`] of the new value,
+/// `Removed` becomes [`BatchOp::Remove`].
+///
+/// Applying the result through [`ShardedTreapMap::transact`] moves a map
+/// holding the older version to the newer one **atomically** — the
+/// replication layer's catch-up step: a replica at version `a` receives
+/// `a.diff(&b)` and flips to `b` in one linearizable operation, so its
+/// readers only ever observe published versions.
+///
+/// ```
+/// use pathcopy_concurrent::{diff_to_ops, ShardedTreapMap};
+/// use pathcopy_core::{MapSnapshot as _, Snapshottable as _};
+///
+/// let primary: ShardedTreapMap<i64, i64> = ShardedTreapMap::with_shards(4);
+/// primary.insert(1, 10);
+/// let old = primary.snapshot();
+/// primary.insert(2, 20);
+/// primary.remove(&1);
+/// let new = primary.snapshot();
+///
+/// let replica: ShardedTreapMap<i64, i64> = ShardedTreapMap::with_shards(4);
+/// replica.insert(1, 10); // replica holds the old version
+/// replica.transact(&diff_to_ops(&old.diff(&new)));
+/// assert_eq!(replica.snapshot().to_sorted_vec(), vec![(2, 20)]);
+/// ```
+pub fn diff_to_ops<K: Clone, V: Clone>(diff: &[DiffEntry<K, V>]) -> Vec<BatchOp<K, V>> {
+    diff.iter()
+        .map(|e| match e {
+            DiffEntry::Added(k, v) => BatchOp::Insert(k.clone(), v.clone()),
+            DiffEntry::Changed(k, _, v) => BatchOp::Insert(k.clone(), v.clone()),
+            DiffEntry::Removed(k, _) => BatchOp::Remove(k.clone()),
+        })
+        .collect()
+}
+
+/// Which [`BatchOp::Cas`] guards of a guarded batch failed — the payload
+/// of a [`ShardedTreapMap::transact_guarded`] abort, as op indices into
+/// the submitted batch, in batch order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardAbort {
+    /// Indices (into the batch) of the `Cas` ops whose guards failed.
+    pub failed: Vec<usize>,
+}
+
+/// Collects the batch indices of failed `Cas` guards in one shard's
+/// speculative results.
+fn failed_guards<V>(idxs: &[usize], results: &[BatchResult<V>]) -> Vec<usize> {
+    idxs.iter()
+        .zip(results)
+        .filter(|(_, r)| matches!(r, BatchResult::Cas(false)))
+        .map(|(&i, _)| i)
+        .collect()
 }
 
 /// Applies a shard's slice of the batch (op indices `idxs`, in batch
@@ -213,8 +268,61 @@ where
     /// );
     /// ```
     pub fn transact(&self, batch: &[BatchOp<K, V>]) -> Vec<BatchResult<V>> {
+        match self.transact_impl(batch, false) {
+            Ok(results) => results,
+            Err(_) => unreachable!("unguarded batches never abort"),
+        }
+    }
+
+    /// Sinfonia-style guarded mini-transaction: like
+    /// [`transact`](Self::transact), except that if **any**
+    /// [`BatchOp::Cas`] guard fails, the *whole batch aborts* — zero
+    /// writes land, and the failed guard indices come back as a
+    /// [`GuardAbort`].
+    ///
+    /// The abort is linearizable: on the single-shard path the guards are
+    /// evaluated against the root the no-CAS return linearizes at, and on
+    /// the multi-shard path they are evaluated against the validated
+    /// bases of a successful freeze pass — every involved shard is frozen
+    /// at the moment the abort decision is made, so no interleaving can
+    /// make a concurrent observer disagree about whether the batch
+    /// happened.
+    ///
+    /// Within a committing batch, semantics match `transact`: ops apply
+    /// in order and later ops (including guards) see earlier writes of
+    /// the same batch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pathcopy_concurrent::{BatchOp, GuardAbort, ShardedTreapMap};
+    ///
+    /// let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(4);
+    /// m.insert(1, 10);
+    /// // The guard is stale, so the inserts must not land either.
+    /// let err = m
+    ///     .transact_guarded(&[
+    ///         BatchOp::Cas { key: 1, expected: Some(99), new: Some(100) },
+    ///         BatchOp::Insert(2, 20),
+    ///     ])
+    ///     .unwrap_err();
+    /// assert_eq!(err, GuardAbort { failed: vec![0] });
+    /// assert_eq!(m.get(&2), None, "aborted batch wrote nothing");
+    /// ```
+    pub fn transact_guarded(
+        &self,
+        batch: &[BatchOp<K, V>],
+    ) -> Result<Vec<BatchResult<V>>, GuardAbort> {
+        self.transact_impl(batch, true)
+    }
+
+    fn transact_impl(
+        &self,
+        batch: &[BatchOp<K, V>],
+        guarded: bool,
+    ) -> Result<Vec<BatchResult<V>>, GuardAbort> {
         if batch.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         // Phase 0: group op indices by shard, preserving batch order
@@ -230,14 +338,23 @@ where
 
         if groups.len() == 1 {
             // Fast path: the batch lives in one shard, so it is just one
-            // sequential composite update — plain lock-free CAS loop.
+            // sequential composite update — plain lock-free CAS loop. A
+            // guarded abort returns through `Update::Keep`, i.e. without
+            // a CAS: it linearizes at the root load that evaluated the
+            // guards, and nothing is written.
             let (&shard, idxs) = groups.iter().next().unwrap();
             return self.shards[shard].update(|map| {
                 let (next, results, changed) = apply_shard_ops(map, batch, idxs);
+                if guarded {
+                    let failed = failed_guards(idxs, &results);
+                    if !failed.is_empty() {
+                        return Update::Keep(Err(GuardAbort { failed }));
+                    }
+                }
                 if changed {
-                    Update::Replace(next, results)
+                    Update::Replace(next, Ok(results))
                 } else {
-                    Update::Keep(results)
+                    Update::Keep(Ok(results))
                 }
             });
         }
@@ -271,10 +388,11 @@ where
                     out[i] = Some(r);
                 }
             }
-            return out
+            // A Get-only batch carries no guards, so `guarded` is moot.
+            return Ok(out
                 .into_iter()
                 .map(|r| r.expect("every op resolved"))
-                .collect();
+                .collect());
         }
 
         // Phase 1: exclude rival multi-shard commits on any overlapping
@@ -347,6 +465,25 @@ where
             break;
         }
 
+        // Guard check, inside the frozen window: the freeze pass proved
+        // every staged base simultaneously current, so the speculative
+        // results are a consistent evaluation of all guards. Any failed
+        // guard aborts the whole batch by unfreezing without installing —
+        // zero writes, and the abort linearizes in the window.
+        if guarded {
+            let mut failed: Vec<usize> = staged
+                .iter()
+                .flat_map(|stage| failed_guards(stage.idxs, &stage.results))
+                .collect();
+            if !failed.is_empty() {
+                for stage in &staged {
+                    self.shards[stage.shard].unfreeze_root();
+                }
+                failed.sort_unstable();
+                return Err(GuardAbort { failed });
+            }
+        }
+
         // Phase 4: install. All involved roots are frozen, so no read of
         // any of them completes until its install below — the batch
         // becomes visible everywhere at once.
@@ -362,9 +499,10 @@ where
                 out[i] = Some(r);
             }
         }
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|r| r.expect("every op resolved"))
-            .collect()
+            .collect())
     }
 }
 
@@ -513,6 +651,171 @@ mod tests {
         for k in 0..64 {
             assert_eq!(m.get(&k), Some(k));
         }
+    }
+
+    #[test]
+    fn guarded_single_shard_abort_writes_nothing() {
+        // One shard forces the lock-free fast path.
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(1);
+        m.insert(1, 10);
+        let err = m
+            .transact_guarded(&[
+                BatchOp::Insert(2, 20),
+                BatchOp::Cas {
+                    key: 1,
+                    expected: Some(11), // stale guard
+                    new: Some(12),
+                },
+                BatchOp::Insert(3, 30),
+            ])
+            .unwrap_err();
+        assert_eq!(err.failed, vec![1]);
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&2), None, "write before the failed guard aborted");
+        assert_eq!(m.get(&3), None, "write after the failed guard aborted");
+        let stats = m.stats_snapshot();
+        assert_eq!(stats.frozen_installs, 0);
+        // The abort itself is a no-CAS op on the fast path.
+        assert_eq!(stats.noop_updates, 1);
+    }
+
+    #[test]
+    fn guarded_multi_shard_abort_writes_nothing_and_reports_all_failures() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(16);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        let installs_before = m.stats_snapshot().frozen_installs;
+        // 64 spread-out inserts span many shards; two stale guards.
+        let mut batch: Vec<BatchOp<u64, u64>> = (100..164).map(|k| BatchOp::Insert(k, k)).collect();
+        batch.push(BatchOp::Cas {
+            key: 1,
+            expected: Some(11),
+            new: Some(12),
+        });
+        batch.push(BatchOp::Cas {
+            key: 2,
+            expected: Some(20), // this one would match...
+            new: Some(21),
+        });
+        batch.push(BatchOp::Cas {
+            key: 2,
+            expected: Some(22), // ...but this one is stale
+            new: Some(23),
+        });
+        let err = m.transact_guarded(&batch).unwrap_err();
+        assert_eq!(err.failed, vec![64, 66], "failed guard indices, in order");
+        for k in 100..164 {
+            assert_eq!(m.get(&k), None, "aborted batch leaked key {k}");
+        }
+        assert_eq!(m.get(&1), Some(10));
+        assert_eq!(m.get(&2), Some(20), "matching guard's write aborted too");
+        assert_eq!(
+            m.stats_snapshot().frozen_installs,
+            installs_before,
+            "abort must not install any root"
+        );
+    }
+
+    #[test]
+    fn guarded_batch_with_passing_guards_commits_like_transact() {
+        let m: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(8);
+        m.insert(1, 10);
+        let r = m
+            .transact_guarded(&[
+                BatchOp::Cas {
+                    key: 1,
+                    expected: Some(10),
+                    new: Some(11),
+                },
+                BatchOp::Insert(2, 20),
+                BatchOp::Cas {
+                    key: 2,
+                    expected: Some(20), // sees the batch's own write
+                    new: Some(21),
+                },
+            ])
+            .expect("all guards match");
+        assert_eq!(
+            r,
+            vec![
+                BatchResult::Cas(true),
+                BatchResult::Inserted(None),
+                BatchResult::Cas(true),
+            ]
+        );
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.get(&2), Some(21));
+    }
+
+    #[test]
+    fn concurrent_guarded_toggles_are_atomic() {
+        // A guarded counter: each increment guards on the value it last
+        // observed; rivals make guards fail, and a failed guard must
+        // abort the rider keys too, so the riders always mirror the
+        // number of *successful* increments.
+        let m: ShardedTreapMap<u64, i64> = ShardedTreapMap::with_shards(8);
+        m.insert(0, 0);
+        const THREADS: usize = 4;
+        const TRIES: usize = 200;
+        let committed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = &m;
+                let committed = &committed;
+                s.spawn(move || {
+                    for i in 0..TRIES {
+                        let seen = m.get(&0).unwrap();
+                        let rider = 1000 + ((t * TRIES + i) as u64);
+                        match m.transact_guarded(&[
+                            BatchOp::Cas {
+                                key: 0,
+                                expected: Some(seen),
+                                new: Some(seen + 1),
+                            },
+                            BatchOp::Insert(rider, seen + 1),
+                        ]) {
+                            Ok(_) => {
+                                committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(abort) => {
+                                assert_eq!(abort.failed, vec![0]);
+                                assert_eq!(m.get(&rider), None, "aborted rider leaked");
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let commits = committed.load(std::sync::atomic::Ordering::Relaxed) as i64;
+        assert_eq!(m.get(&0), Some(commits), "counter equals commits");
+        let riders = m.snapshot_all().len() - 1;
+        assert_eq!(riders as i64, commits, "one rider per committed batch");
+    }
+
+    #[test]
+    fn diff_to_ops_replays_a_diff() {
+        use pathcopy_core::api::MapSnapshot as _;
+        use pathcopy_core::Snapshottable as _;
+        let primary: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(4);
+        for k in 0..50 {
+            primary.insert(k, k);
+        }
+        let old = primary.snapshot();
+        primary.insert(3, 33);
+        primary.remove(&7);
+        primary.insert(100, 100);
+        let new = primary.snapshot();
+
+        let replica: ShardedTreapMap<u64, u64> = ShardedTreapMap::with_shards(4);
+        for k in 0..50 {
+            replica.insert(k, k);
+        }
+        replica.transact(&diff_to_ops(&old.diff(&new)));
+        assert_eq!(
+            replica.snapshot().to_sorted_vec(),
+            new.to_sorted_vec(),
+            "replaying the diff reconstructs the newer version"
+        );
     }
 
     #[test]

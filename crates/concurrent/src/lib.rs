@@ -33,7 +33,7 @@ pub mod snapshot;
 pub mod treap_map;
 pub mod treap_set;
 
-pub use batch::{BatchOp, BatchResult};
+pub use batch::{diff_to_ops, BatchOp, BatchResult, GuardAbort};
 pub use composite::Composite;
 pub use ebst_set::ExternalBstSet;
 pub use locked::{LockedMap, LockedTreapSet, RwLockedTreapSet};

@@ -185,9 +185,92 @@ impl StatsSnapshot {
     }
 }
 
+/// Shared, thread-safe transfer accounting: bytes sent and received over
+/// some channel (a client connection, a replication stream).
+///
+/// Like [`UcStats`], the counters are monotonic relaxed atomics —
+/// diagnostics, not synchronization. The replication layer uses a block
+/// of these to prove that snapshot-diff catch-up moves O(changes) bytes
+/// while a full resync moves O(n).
+#[derive(Debug, Default)]
+pub struct ByteCounters {
+    sent: CachePadded<AtomicU64>,
+    received: CachePadded<AtomicU64>,
+}
+
+impl ByteCounters {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` bytes written to the channel.
+    pub fn add_sent(&self, n: u64) {
+        self.sent.fetch_add(n, Relaxed);
+    }
+
+    /// Records `n` bytes read from the channel.
+    pub fn add_received(&self, n: u64) {
+        self.received.fetch_add(n, Relaxed);
+    }
+
+    /// Takes a consistent-enough copy of both counters.
+    pub fn snapshot(&self) -> ByteCountersSnapshot {
+        ByteCountersSnapshot {
+            sent: self.sent.load(Relaxed),
+            received: self.received.load(Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`ByteCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ByteCountersSnapshot {
+    /// Bytes written to the channel so far.
+    pub sent: u64,
+    /// Bytes read from the channel so far.
+    pub received: u64,
+}
+
+impl ByteCountersSnapshot {
+    /// Bytes moved in either direction.
+    pub fn total(&self) -> u64 {
+        self.sent + self.received
+    }
+
+    /// Traffic accumulated since an earlier snapshot of the same block.
+    pub fn since(&self, earlier: &ByteCountersSnapshot) -> ByteCountersSnapshot {
+        ByteCountersSnapshot {
+            sent: self.sent - earlier.sent,
+            received: self.received - earlier.received,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn byte_counters_accumulate_and_delta() {
+        let c = ByteCounters::new();
+        c.add_sent(10);
+        c.add_received(100);
+        let first = c.snapshot();
+        assert_eq!(first.sent, 10);
+        assert_eq!(first.received, 100);
+        assert_eq!(first.total(), 110);
+        c.add_sent(5);
+        c.add_received(50);
+        let delta = c.snapshot().since(&first);
+        assert_eq!(
+            delta,
+            ByteCountersSnapshot {
+                sent: 5,
+                received: 50
+            }
+        );
+    }
 
     #[test]
     fn record_update_populates_counters() {

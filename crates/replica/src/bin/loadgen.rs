@@ -7,7 +7,7 @@
 //! cargo run --release --bin loadgen -- \
 //!     --threads 8 --ops 100000 --backend sharded_map_8 \
 //!     --read-frac 0.9 --theta 0.99 --keys 65536 \
-//!     [--batch 8] [--workers 8] [--json out.jsonl]
+//!     [--batch 8] [--workers 8] [--replicas 2] [--json out.jsonl]
 //! ```
 //!
 //! `--batch n` groups updates into n-op `Batch` frames (the sharded
@@ -15,13 +15,23 @@
 //! JSON line per metric in the criterion shim's `BENCH_JSON` schema
 //! (`{"id":...,"median_ns":...,"samples":...,"mode":...}`), so server
 //! throughput joins the same perf-trajectory artifacts as the benches.
+//!
+//! `--replicas n` stands up the replication subsystem: one primary plus
+//! `n` snapshot-diff replicas, each serving on its own port with a sync
+//! thread pulling epoch diffs while a publisher thread advances the
+//! primary's version feed. **Reads go to the replicas** (round-robin by
+//! worker thread), updates to the primary — the read scale-out topology
+//! the paper's O(changes) diffs make cheap. The final report includes
+//! per-replica applied epochs and diff/full transfer bytes.
 
 use std::io::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use pathcopy_bench::cli::Args;
 use pathcopy_bench::table::{group_thousands, Series};
 use pathcopy_concurrent::BatchOp;
+use pathcopy_replica::cluster;
 use pathcopy_server::{backend, Client, ServerConfig};
 use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
 
@@ -34,9 +44,15 @@ fn main() {
     let theta: f64 = args.get_or("theta", 0.99);
     let keys: u64 = args.get_or("keys", 65_536);
     let batch: usize = args.get_or("batch", 1);
-    let workers: usize = args.get_or("workers", threads.max(1));
+    let replicas: usize = args.get_or("replicas", 0);
+    // Each live connection pins a server worker for its lifetime, so the
+    // primary's pool must cover every writer thread plus the replication
+    // tier's standing connections (publisher + one sync client per
+    // replica) — otherwise late connections serialize behind early ones.
+    let workers: usize = args.get_or("workers", threads.max(1) + 1 + replicas);
     let prefill: u64 = args.get_or("prefill", keys / 2);
     let seed: u64 = args.get_or("seed", 42);
+    let publish_ms: u64 = args.get_or("publish-ms", 2);
     let json: Option<String> = args.get("json").map(String::from);
 
     assert!(threads >= 1, "--threads must be at least 1");
@@ -73,16 +89,73 @@ fn main() {
         }
     }
 
+    // The replication tier: bootstrapped replicas serving on their own
+    // ports, kept fresh by per-replica sync threads while a publisher
+    // advances the primary's feed.
+    // Each replica serves its share of the reader threads; one worker
+    // per standing reader connection (plus slack) keeps reads parallel.
+    let readers_per_replica = threads.div_ceil(replicas.max(1)) + 1;
+    let nodes =
+        cluster(addr, replicas, &backend_name, readers_per_replica).expect("stand up replicas");
+    let read_addrs: Vec<std::net::SocketAddr> = nodes.iter().map(|n| n.server.addr()).collect();
+    let stop = AtomicBool::new(false);
+    if replicas > 0 {
+        println!(
+            "replication: {replicas} replica(s) bootstrapped at epoch {}; reads target the replicas",
+            nodes[0].replica.applied_epoch()
+        );
+    }
+
     let per_thread = total_ops / threads as u64;
     let start = Instant::now();
     let mut all_latencies_ns: Vec<u64> = Vec::with_capacity(total_ops as usize);
     let mut done_ops = 0u64;
+    let mut synced_nodes = Vec::new();
 
     std::thread::scope(|scope| {
+        // Background replication machinery (only with --replicas).
+        let mut sync_handles = Vec::new();
+        if replicas > 0 {
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut publisher = Client::connect(addr).expect("publisher connect");
+                while !stop_ref.load(Ordering::Relaxed) {
+                    publisher.publish().expect("publish epoch");
+                    std::thread::sleep(Duration::from_millis(publish_ms));
+                }
+            });
+            for node in nodes {
+                let stop_ref = &stop;
+                sync_handles.push(scope.spawn(move || {
+                    let mut node = node;
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let outcome = node.replica.sync_once().expect("replica sync");
+                        if let pathcopy_replica::SyncOutcome::Diff { changes: 0, .. } = outcome {
+                            // At the head: don't hammer the primary.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    node
+                }));
+            }
+        }
+
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
+            let read_addr = if read_addrs.is_empty() {
+                addr
+            } else {
+                read_addrs[t % read_addrs.len()]
+            };
             handles.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("worker connect");
+                // With replicas, reads go to this thread's replica over a
+                // second connection; without, `reader` is just the primary.
+                let mut reader = if read_addr == addr {
+                    None
+                } else {
+                    Some(Client::connect(read_addr).expect("replica connect"))
+                };
                 let mut stream = MixedStream::new(
                     KeyDist::Zipf { n: keys, theta },
                     read_frac,
@@ -115,7 +188,7 @@ fn main() {
                     let t0 = Instant::now();
                     match op {
                         Op::Contains(k) => {
-                            client.get(k).expect("get");
+                            reader.as_mut().unwrap_or(&mut client).get(k).expect("get");
                         }
                         Op::Insert(k) => {
                             client.insert(k, k).expect("insert");
@@ -138,6 +211,10 @@ fn main() {
             all_latencies_ns.extend(lat);
             done_ops += ops;
         }
+        stop.store(true, Ordering::Relaxed);
+        for h in sync_handles {
+            synced_nodes.push(h.join().expect("sync thread panicked"));
+        }
     });
 
     let elapsed = start.elapsed();
@@ -159,7 +236,7 @@ fn main() {
 
     println!(
         "loadgen: backend={backend_name} threads={threads} workers={workers} ops={done_ops} \
-         read_frac={read_frac:.2} zipf(n={keys}, theta={theta}) batch={batch}"
+         read_frac={read_frac:.2} zipf(n={keys}, theta={theta}) batch={batch} replicas={replicas}"
     );
     let table = Series {
         title: format!(
@@ -197,11 +274,25 @@ fn main() {
         final_stats.freeze_retries,
         final_stats.len,
     );
+    for (i, node) in synced_nodes.iter().enumerate() {
+        let s = node.replica.stats();
+        println!(
+            "replica[{i}]: applied_epoch={} lag={} diff_pulls={} diff_bytes={} \
+             full_syncs={} full_bytes={} ring_fallbacks={}",
+            s.applied_epoch,
+            s.lag(),
+            s.diff_pulls,
+            s.diff_bytes,
+            s.full_syncs,
+            s.full_bytes,
+            s.ring_fallbacks,
+        );
+    }
 
     if let Some(path) = json {
         // Same JSON-lines schema as the criterion shim's BENCH_JSON hook,
         // so loadgen results aggregate into the same trend artifacts.
-        let prefix = format!("loadgen/{backend_name}/t{threads}/b{batch}");
+        let prefix = format!("loadgen/{backend_name}/t{threads}/b{batch}/r{replicas}");
         let per_op_ns = elapsed.as_nanos() as f64 / done_ops.max(1) as f64;
         let lines = [
             format!(
@@ -229,6 +320,10 @@ fn main() {
         }
     }
 
+    // Replica servers shut down when their handles drop.
+    for node in synced_nodes {
+        node.server.shutdown();
+    }
     server.shutdown();
 }
 

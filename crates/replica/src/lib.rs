@@ -1,0 +1,72 @@
+//! # pathcopy-replica
+//!
+//! Snapshot-diff replication over the serving layer: a primary
+//! `pathcopy-server` publishes a monotone **version feed** (a capped
+//! ring of recent snapshots keyed by epoch —
+//! [`pathcopy_server::VersionFeed`]), and [`Replica`] engines bootstrap
+//! from a chunked full sync, then catch up by pulling **pruned
+//! snapshot-to-snapshot diffs** between their applied epoch and the feed
+//! head.
+//!
+//! This is the paper's central artifact turned into horizontal read
+//! scale-out. Path-copied versions share every unchanged subtree, so:
+//!
+//! * retaining a ring of recent epochs on the primary costs O(changes),
+//!   not `K` map copies;
+//! * the catch-up diff is computed by pointer-equality pruning —
+//!   sublinear in the map size for nearby epochs — and *only the change*
+//!   crosses the wire (the replica's byte counters prove it:
+//!   [`ReplicaStatsSnapshot::diff_bytes`] vs
+//!   [`ReplicaStatsSnapshot::full_bytes`]);
+//! * the replica applies each diff as **one atomic batch** through its
+//!   local backend's `transact`, so replica readers only ever observe
+//!   published primary versions — frozen epochs, never a torn apply.
+//!
+//! A replica exposes the same
+//! [`ServeBackend`](pathcopy_server::ServeBackend) surface as the
+//! primary ([`Replica::serve`]), so read traffic points at replicas
+//! unchanged — `loadgen --replicas N` does exactly that.
+//!
+//! ```
+//! use pathcopy_replica::{Replica, SyncOutcome};
+//! use pathcopy_server::{backend, Client, ServerConfig};
+//!
+//! // A primary with some state.
+//! let primary = pathcopy_server::spawn(
+//!     backend::by_name("sharded_map_8").unwrap(),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let mut writer = Client::connect(primary.addr()).unwrap();
+//! writer.insert(1, 10).unwrap();
+//!
+//! // Bootstrap: the first sync is a (chunked) full transfer.
+//! let mut replica = Replica::connect(
+//!     primary.addr(),
+//!     backend::by_name("sharded_map_8").unwrap(),
+//! )
+//! .unwrap();
+//! assert!(matches!(
+//!     replica.sync_once().unwrap(),
+//!     SyncOutcome::FullSync { .. }
+//! ));
+//! assert_eq!(replica.store().get(1), Some(10));
+//!
+//! // Catch-up: the writer publishes a new epoch; the replica pulls the
+//! // pruned diff — O(changes), not O(map).
+//! writer.insert(2, 20).unwrap();
+//! writer.remove(1).unwrap();
+//! writer.publish().unwrap();
+//! let outcome = replica.sync_once().unwrap();
+//! assert!(matches!(outcome, SyncOutcome::Diff { changes: 2, .. }));
+//! assert_eq!(replica.store().get(1), None);
+//! assert_eq!(replica.store().get(2), Some(20));
+//! primary.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod replica;
+
+pub use replica::{cluster, Replica, ReplicaNode, ReplicaStats, ReplicaStatsSnapshot, SyncOutcome};

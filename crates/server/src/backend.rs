@@ -81,6 +81,18 @@ pub trait ServeBackend: Send + Sync + 'static {
     /// batch order. Atomic if [`atomic_batches`](Self::atomic_batches).
     fn transact(&self, ops: &[BatchOp<i64, i64>]) -> Vec<BatchResult<i64>>;
 
+    /// Guarded (Sinfonia-style) form of [`transact`](Self::transact): if
+    /// any [`BatchOp::Cas`] guard fails, the whole batch aborts with
+    /// zero writes and `Err` carries the failed guard indices (into the
+    /// batch, ascending). On backends with
+    /// [`atomic_batches`](Self::atomic_batches) the abort is
+    /// linearizable; on per-op backends it is best-effort (guards are
+    /// checked before any write, but a concurrent writer can interleave).
+    fn transact_guarded(
+        &self,
+        ops: &[BatchOp<i64, i64>],
+    ) -> Result<Vec<BatchResult<i64>>, Vec<u32>>;
+
     /// `true` if [`transact`](Self::transact) applies the whole batch as
     /// one linearizable operation (the sharded map's two-phase commit);
     /// `false` if it falls back to per-op application.
@@ -202,6 +214,47 @@ where
             .collect()
     }
 
+    /// Best-effort on this adapter (batches are per-op here): the batch
+    /// is simulated against an overlay first — guards see earlier batch
+    /// writes, matching `transact` semantics — and only applied if every
+    /// guard passes, so a failed guard aborts with zero writes. A
+    /// concurrent writer can still interleave between the check and the
+    /// apply; only [`ShardedServe`] makes the abort linearizable.
+    fn transact_guarded(
+        &self,
+        ops: &[BatchOp<i64, i64>],
+    ) -> Result<Vec<BatchResult<i64>>, Vec<u32>> {
+        let mut overlay: std::collections::HashMap<i64, Option<i64>> = Default::default();
+        let mut failed = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                BatchOp::Get(_) => {}
+                BatchOp::Insert(k, v) => {
+                    overlay.insert(*k, Some(*v));
+                }
+                BatchOp::Remove(k) => {
+                    overlay.insert(*k, None);
+                }
+                BatchOp::Cas { key, expected, new } => {
+                    let current = match overlay.get(key) {
+                        Some(&v) => v,
+                        None => self.get(*key),
+                    };
+                    if current == *expected {
+                        overlay.insert(*key, *new);
+                    } else {
+                        failed.push(i as u32);
+                    }
+                }
+            }
+        }
+        if failed.is_empty() {
+            Ok(self.transact(ops))
+        } else {
+            Err(failed)
+        }
+    }
+
     fn atomic_batches(&self) -> bool {
         false
     }
@@ -266,6 +319,15 @@ impl ServeBackend for ShardedServe {
         self.map.transact(ops)
     }
 
+    fn transact_guarded(
+        &self,
+        ops: &[BatchOp<i64, i64>],
+    ) -> Result<Vec<BatchResult<i64>>, Vec<u32>> {
+        self.map
+            .transact_guarded(ops)
+            .map_err(|abort| abort.failed.into_iter().map(|i| i as u32).collect())
+    }
+
     fn atomic_batches(&self) -> bool {
         true
     }
@@ -280,6 +342,55 @@ impl ServeBackend for ShardedServe {
 
     fn stats(&self) -> StatsSnapshot {
         self.map.stats_snapshot()
+    }
+}
+
+/// A shared handle is itself servable: the server and another owner (a
+/// replication engine applying diffs, an in-process inspector) can hold
+/// the **same** backend. This is what lets a replica serve read traffic
+/// from the store its sync loop is catching up.
+impl ServeBackend for Arc<dyn ServeBackend> {
+    fn get(&self, key: i64) -> Option<i64> {
+        (**self).get(key)
+    }
+
+    fn insert(&self, key: i64, value: i64) -> Option<i64> {
+        (**self).insert(key, value)
+    }
+
+    fn remove(&self, key: i64) -> Option<i64> {
+        (**self).remove(key)
+    }
+
+    fn cas(&self, key: i64, expected: Option<i64>, new: Option<i64>) -> bool {
+        (**self).cas(key, expected, new)
+    }
+
+    fn transact(&self, ops: &[BatchOp<i64, i64>]) -> Vec<BatchResult<i64>> {
+        (**self).transact(ops)
+    }
+
+    fn transact_guarded(
+        &self,
+        ops: &[BatchOp<i64, i64>],
+    ) -> Result<Vec<BatchResult<i64>>, Vec<u32>> {
+        (**self).transact_guarded(ops)
+    }
+
+    fn atomic_batches(&self) -> bool {
+        (**self).atomic_batches()
+    }
+
+    fn snapshot(&self) -> Arc<dyn ServeSnapshot> {
+        (**self).snapshot()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        (**self).stats()
     }
 }
 
@@ -404,6 +515,52 @@ mod tests {
             );
             assert_eq!(b.get(1), Some(11), "[{name}]");
         }
+    }
+
+    #[test]
+    fn guarded_batches_abort_with_zero_writes_on_every_backend() {
+        for entry in backends() {
+            let b = (entry.make)();
+            let name = entry.name;
+            b.insert(1, 10);
+            let failed = b
+                .transact_guarded(&[
+                    BatchOp::Insert(2, 20),
+                    BatchOp::Cas {
+                        key: 1,
+                        expected: Some(99), // stale guard
+                        new: Some(100),
+                    },
+                ])
+                .unwrap_err();
+            assert_eq!(failed, vec![1], "[{name}]");
+            assert_eq!(b.get(1), Some(10), "[{name}]");
+            assert_eq!(b.get(2), None, "[{name}] aborted batch leaked a write");
+
+            // Passing guards commit, and a guard sees earlier batch writes.
+            let r = b
+                .transact_guarded(&[
+                    BatchOp::Insert(2, 20),
+                    BatchOp::Cas {
+                        key: 2,
+                        expected: Some(20),
+                        new: Some(21),
+                    },
+                ])
+                .unwrap_or_else(|e| panic!("[{name}] guards must pass: {e:?}"));
+            assert_eq!(r[1], BatchResult::Cas(true), "[{name}]");
+            assert_eq!(b.get(2), Some(21), "[{name}]");
+        }
+    }
+
+    #[test]
+    fn shared_backend_handle_serves_and_aliases() {
+        let inner: Arc<dyn ServeBackend> = Arc::new(ShardedServe::with_shards(4));
+        let alias = Arc::clone(&inner);
+        inner.insert(1, 10);
+        assert_eq!(alias.get(1), Some(10), "both handles see the same map");
+        let snap = ServeBackend::snapshot(&alias);
+        assert_eq!(snap.len(), 1);
     }
 
     #[test]

@@ -9,15 +9,17 @@
 //! [`DiffEntry`] — code written against the
 //! in-process map moves to the network client by swapping the receiver.
 
-use std::io::{self, BufReader, BufWriter, Write as _};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
 
 use pathcopy_concurrent::{BatchOp, BatchResult};
-use pathcopy_core::DiffEntry;
+use pathcopy_core::{ByteCounters, ByteCountersSnapshot, DiffEntry};
 
 use crate::proto::{
-    read_response, write_request, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
+    read_response, write_request, Epoch, FeedInfo, ProtoError, Request, Response, SnapshotId,
+    WireError, WireStats,
 };
 
 /// Why a client call failed.
@@ -70,10 +72,45 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// [`Read`] half of a connection that counts bytes into a shared
+/// [`ByteCounters`] block.
+struct CountingReader {
+    inner: TcpStream,
+    wire: Arc<ByteCounters>,
+}
+
+impl Read for CountingReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.wire.add_received(n as u64);
+        Ok(n)
+    }
+}
+
+/// [`Write`] half of a connection that counts bytes into a shared
+/// [`ByteCounters`] block.
+struct CountingWriter {
+    inner: TcpStream,
+    wire: Arc<ByteCounters>,
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.wire.add_sent(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// A blocking connection to a `pathcopy-server`.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<CountingReader>,
+    writer: BufWriter<CountingWriter>,
+    wire: Arc<ByteCounters>,
 }
 
 impl Client {
@@ -83,10 +120,27 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
+        let wire = Arc::new(ByteCounters::new());
         Ok(Client {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
+            reader: BufReader::new(CountingReader {
+                inner: read_half,
+                wire: Arc::clone(&wire),
+            }),
+            writer: BufWriter::new(CountingWriter {
+                inner: stream,
+                wire: Arc::clone(&wire),
+            }),
+            wire,
         })
+    }
+
+    /// Bytes this connection has moved so far, both directions. The
+    /// counters are exact at request/response boundaries (the writer is
+    /// flushed after every request), which is what the replication layer
+    /// uses to prove that diff catch-up transfers O(changes) bytes while
+    /// a full sync transfers O(n).
+    pub fn wire_bytes(&self) -> ByteCountersSnapshot {
+        self.wire.snapshot()
     }
 
     /// One request/response round trip, surfacing server-side errors.
@@ -145,9 +199,90 @@ impl Client {
         &mut self,
         ops: &[BatchOp<i64, i64>],
     ) -> Result<Vec<BatchResult<i64>>, ClientError> {
-        match self.call(&Request::Batch(ops.to_vec()))? {
+        match self.call(&Request::Batch {
+            ops: ops.to_vec(),
+            guarded: false,
+        })? {
             Response::Batch(results) => Ok(results),
             _ => Err(ClientError::Unexpected("Batch")),
+        }
+    }
+
+    /// Guarded (Sinfonia-style) batch: commits all-or-nothing like
+    /// [`batch`](Self::batch), except a failing [`BatchOp::Cas`] guard
+    /// aborts the **whole batch** with zero writes. The outer `Result`
+    /// is transport/server failure; the inner one is the transaction
+    /// outcome — `Err` carries the failed guard indices (into `ops`,
+    /// ascending).
+    #[allow(clippy::type_complexity)]
+    pub fn batch_guarded(
+        &mut self,
+        ops: &[BatchOp<i64, i64>],
+    ) -> Result<Result<Vec<BatchResult<i64>>, Vec<u32>>, ClientError> {
+        match self.call(&Request::Batch {
+            ops: ops.to_vec(),
+            guarded: true,
+        })? {
+            Response::Batch(results) => Ok(Ok(results)),
+            Response::BatchAborted(failed) => Ok(Err(failed)),
+            _ => Err(ClientError::Unexpected("Batch(guarded)")),
+        }
+    }
+
+    /// Publishes the primary's current state as the next feed epoch
+    /// (the version replicas will sync to) and returns that epoch.
+    pub fn publish(&mut self) -> Result<Epoch, ClientError> {
+        match self.call(&Request::Publish)? {
+            Response::Published(epoch) => Ok(epoch),
+            _ => Err(ClientError::Unexpected("Publish")),
+        }
+    }
+
+    /// Reads the feed's bounds: head epoch, oldest retained epoch, ring
+    /// capacity.
+    pub fn feed_info(&mut self) -> Result<FeedInfo, ClientError> {
+        match self.call(&Request::Subscribe)? {
+            Response::FeedInfo(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("Subscribe")),
+        }
+    }
+
+    /// Pulls everything that changed between published epoch `from` and
+    /// the feed head: `(head_epoch, changes)`. Fails with
+    /// [`WireError::EpochRetired`] when `from` fell out of the feed ring
+    /// (lagged too far — fall back to [`full_sync_page`](Self::full_sync_page)).
+    pub fn pull_diff(
+        &mut self,
+        from: Epoch,
+    ) -> Result<(Epoch, Vec<DiffEntry<i64, i64>>), ClientError> {
+        match self.call(&Request::PullDiff { from })? {
+            Response::EpochDiff { to, entries } => Ok((to, entries)),
+            _ => Err(ClientError::Unexpected("PullDiff")),
+        }
+    }
+
+    /// One bounded page of a full-state sync: `(epoch, entries, done)`.
+    /// Start with `epoch: None` (the server pins a fresh epoch), then
+    /// pass the returned epoch and the last key of each page until
+    /// `done`. `limit = 0` asks for the server's largest page.
+    #[allow(clippy::type_complexity)]
+    pub fn full_sync_page(
+        &mut self,
+        epoch: Option<Epoch>,
+        after: Option<i64>,
+        limit: u32,
+    ) -> Result<(Epoch, Vec<(i64, i64)>, bool), ClientError> {
+        match self.call(&Request::FullSync {
+            epoch,
+            after,
+            limit,
+        })? {
+            Response::SyncPage {
+                epoch,
+                entries,
+                done,
+            } => Ok((epoch, entries, done)),
+            _ => Err(ClientError::Unexpected("FullSync")),
         }
     }
 

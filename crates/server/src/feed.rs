@@ -1,0 +1,145 @@
+//! The primary's version feed: a capped ring of recent snapshots keyed
+//! by epoch, the source replicas sync from.
+//!
+//! Path copying makes this ring nearly free: each retained epoch is an
+//! `Arc`-held [`ServeSnapshot`] sharing all unchanged subtrees with its
+//! neighbours, so retaining `K` recent versions costs O(changes between
+//! them), not `K` copies of the map. That is exactly what log-shipping
+//! replication wants — the primary answers
+//! [`PullDiff`](crate::proto::Request::PullDiff) with the *pruned*
+//! snapshot-to-snapshot diff between the replica's epoch and the head,
+//! sublinear in the map size for nearby versions.
+//!
+//! Epochs are monotone (`1, 2, 3, …`) and never reused. The ring is
+//! capped: publishing beyond [`VersionFeed::capacity`] retires the
+//! oldest epoch, and a replica that lagged past the ring is told
+//! [`WireError::EpochRetired`](crate::proto::WireError::EpochRetired)
+//! and bootstraps again via a chunked
+//! [`FullSync`](crate::proto::Request::FullSync).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::ServeSnapshot;
+use crate::proto::{Epoch, FeedInfo};
+
+/// A capped, monotone ring of published snapshots; see the module docs.
+pub struct VersionFeed {
+    state: Mutex<FeedState>,
+    capacity: usize,
+}
+
+struct FeedState {
+    /// `(epoch, snapshot)` pairs in ascending epoch order.
+    ring: VecDeque<(Epoch, Arc<dyn ServeSnapshot>)>,
+    next: Epoch,
+}
+
+impl VersionFeed {
+    /// An empty feed retaining at most `capacity` epochs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        VersionFeed {
+            state: Mutex::new(FeedState {
+                ring: VecDeque::new(),
+                next: 1,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// How many epochs the feed retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Publishes `snap` as the next epoch, retiring the oldest retained
+    /// epoch if the ring is full. Returns the new epoch.
+    pub fn publish(&self, snap: Arc<dyn ServeSnapshot>) -> Epoch {
+        let mut state = self.state.lock();
+        let epoch = state.next;
+        state.next += 1;
+        state.ring.push_back((epoch, snap));
+        while state.ring.len() > self.capacity {
+            state.ring.pop_front();
+        }
+        epoch
+    }
+
+    /// The feed's bounds (`head`/`oldest` are `0` while nothing is
+    /// published).
+    pub fn info(&self) -> FeedInfo {
+        let state = self.state.lock();
+        FeedInfo {
+            head: state.ring.back().map_or(0, |(e, _)| *e),
+            oldest: state.ring.front().map_or(0, |(e, _)| *e),
+            capacity: self.capacity as u64,
+        }
+    }
+
+    /// The snapshot retained for `epoch`, if it has not been retired.
+    pub fn get(&self, epoch: Epoch) -> Option<Arc<dyn ServeSnapshot>> {
+        let state = self.state.lock();
+        state
+            .ring
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, s)| Arc::clone(s))
+    }
+
+    /// The newest published epoch and its snapshot.
+    pub fn head(&self) -> Option<(Epoch, Arc<dyn ServeSnapshot>)> {
+        let state = self.state.lock();
+        state.ring.back().map(|(e, s)| (*e, Arc::clone(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ServeBackend, ShardedServe};
+
+    fn snap_of(b: &ShardedServe) -> Arc<dyn ServeSnapshot> {
+        b.snapshot()
+    }
+
+    #[test]
+    fn epochs_are_monotone_and_capped() {
+        let b = ShardedServe::with_shards(2);
+        let feed = VersionFeed::new(3);
+        assert_eq!(
+            feed.info(),
+            FeedInfo {
+                head: 0,
+                oldest: 0,
+                capacity: 3
+            }
+        );
+        for expect in 1..=5u64 {
+            b.insert(expect as i64, 0);
+            assert_eq!(feed.publish(snap_of(&b)), expect);
+        }
+        let info = feed.info();
+        assert_eq!(info.head, 5);
+        assert_eq!(info.oldest, 3, "epochs 1 and 2 retired");
+        assert!(feed.get(2).is_none());
+        assert_eq!(feed.get(3).expect("retained").len(), 3);
+        assert_eq!(feed.head().expect("head").0, 5);
+    }
+
+    #[test]
+    fn retained_epochs_are_frozen_versions() {
+        let b = ShardedServe::with_shards(2);
+        b.insert(1, 10);
+        let feed = VersionFeed::new(4);
+        let e1 = feed.publish(snap_of(&b));
+        b.insert(1, 99);
+        b.insert(2, 20);
+        let e2 = feed.publish(snap_of(&b));
+        assert_eq!(feed.get(e1).unwrap().get(1), Some(10), "epoch 1 frozen");
+        assert_eq!(feed.get(e2).unwrap().get(1), Some(99));
+        let diff = feed.get(e1).unwrap().diff(feed.get(e2).unwrap().as_ref());
+        assert_eq!(diff.expect("same backend").len(), 2);
+    }
+}

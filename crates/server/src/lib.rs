@@ -2,11 +2,13 @@
 //!
 //! The network serving layer over the path-copying engine: a
 //! length-prefixed binary [wire protocol](proto), a thread-pooled
-//! blocking TCP [server], a reusable [client], and a Zipf load generator
-//! (`cargo run --release --bin loadgen`). Everything is `std::net` — the
-//! workspace builds offline, so there is no async runtime; concurrency
-//! comes from a hand-rolled [thread pool](pool), in the same spirit as
-//! the `shims/` crates.
+//! blocking TCP [server], a reusable [client], and the primary side of
+//! the replication subsystem (the [version feed](feed) replicas sync
+//! from; the replica engine and the `loadgen` traffic generator live in
+//! `pathcopy-replica`). Everything is `std::net` — the workspace builds
+//! offline, so there is no async runtime; concurrency comes from a
+//! hand-rolled [thread pool](pool), in the same spirit as the `shims/`
+//! crates.
 //!
 //! Why a server is the natural front-end for this engine: the paper's
 //! construction gives lock-free point writes *plus* O(1) coherent
@@ -49,11 +51,16 @@
 
 pub mod backend;
 pub mod client;
+pub mod feed;
 pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use backend::{ServeBackend, ServeSnapshot};
 pub use client::{Client, ClientError};
-pub use proto::{ProtoError, Request, Response, SnapshotId, WireError, WireStats, PROTO_VERSION};
+pub use feed::VersionFeed;
+pub use proto::{
+    Epoch, FeedInfo, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
+    MAX_FRAME_LEN, PROTO_VERSION,
+};
 pub use server::{spawn, ServerConfig, ServerHandle};

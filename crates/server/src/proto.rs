@@ -31,7 +31,11 @@ use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
 
 /// Protocol version carried in every frame; peers reject mismatches.
-pub const PROTO_VERSION: u8 = 1;
+///
+/// Version 2 added the replication feed frames
+/// ([`Request::Publish`]/[`Request::Subscribe`]/[`Request::PullDiff`]/
+/// [`Request::FullSync`]) and the guarded flag on [`Request::Batch`].
+pub const PROTO_VERSION: u8 = 2;
 
 /// Upper bound on the frame body length; larger length prefixes are
 /// rejected before any allocation, so a corrupt peer cannot trigger a
@@ -40,6 +44,18 @@ pub const MAX_FRAME_LEN: u32 = 16 << 20;
 
 /// Identifier of a named snapshot held in the server's version table.
 pub type SnapshotId = u64;
+
+/// Position in the primary's monotone version feed. Epoch `0` is never
+/// issued — it means "nothing published yet" (or, replica-side, "nothing
+/// applied yet").
+pub type Epoch = u64;
+
+/// Maximum number of entries the server packs into one
+/// [`Response::SyncPage`]. At 16 bytes per entry a page stays around
+/// 1 MiB — far below [`MAX_FRAME_LEN`] — so a [`Request::FullSync`]
+/// bootstrap of an arbitrarily large map never trips the frame cap; the
+/// replica just pulls more pages.
+pub const SYNC_PAGE_MAX_ENTRIES: u32 = 65_536;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +89,16 @@ pub enum Request {
     /// An atomic multi-key batch, applied through the backend's
     /// transaction machinery (cross-shard two-phase commit on the
     /// sharded map).
-    Batch(Vec<BatchOp<i64, i64>>),
+    Batch {
+        /// The operations, applied in order.
+        ops: Vec<BatchOp<i64, i64>>,
+        /// Sinfonia-style guarded mini-transaction flag: when set, a
+        /// failing [`BatchOp::Cas`] guard aborts the **whole batch**
+        /// (zero writes, answered with [`Response::BatchAborted`])
+        /// instead of just reporting `Cas(false)` while the rest
+        /// commits.
+        guarded: bool,
+    },
     /// Take a coherent snapshot and pin it in the server's version table;
     /// the reply names it with a [`SnapshotId`] for later [`Request::Range`]
     /// and [`Request::Diff`] calls.
@@ -106,6 +131,40 @@ pub enum Request {
     /// Read the backend's operation statistics and the server's
     /// version-table size.
     Stats,
+    /// Publish the current state as the next epoch of the server's
+    /// version feed (a capped ring of recent snapshots replicas sync
+    /// from). Replied with [`Response::Published`].
+    Publish,
+    /// Read the feed's bounds — head epoch, oldest retained epoch, ring
+    /// capacity — without changing anything. Replied with
+    /// [`Response::FeedInfo`]. This is how a replica sizes its lag.
+    Subscribe,
+    /// Ask for everything that changed between published epoch `from`
+    /// and the feed head, as one pruned snapshot-to-snapshot diff.
+    /// Replied with [`Response::EpochDiff`], or
+    /// [`WireError::EpochRetired`] if `from` has fallen out of the ring
+    /// (the replica lags too far and must [`Request::FullSync`]).
+    PullDiff {
+        /// The epoch the replica has applied.
+        from: Epoch,
+    },
+    /// One page of a full-state bootstrap. The first call passes
+    /// `epoch: None` — the server serves the current feed head
+    /// (publishing a fresh epoch only when the feed is empty, so
+    /// concurrent bootstraps share one pin) — and follow-up calls pass
+    /// the returned epoch plus the last key received, so the whole map
+    /// streams out of **one** frozen version in bounded segments (never
+    /// more than [`SYNC_PAGE_MAX_ENTRIES`] entries each, so no page can
+    /// trip [`MAX_FRAME_LEN`]).
+    FullSync {
+        /// The epoch being paged, or `None` to start a fresh sync.
+        epoch: Option<Epoch>,
+        /// Resume strictly after this key (`None` = from the start).
+        after: Option<i64>,
+        /// Client's page-size preference (`0` = server default); the
+        /// server clamps it to [`SYNC_PAGE_MAX_ENTRIES`].
+        limit: u32,
+    },
 }
 
 /// A server-to-client message; variants mirror [`Request`] one-to-one
@@ -139,8 +198,47 @@ pub enum Response {
     Released(bool),
     /// Reply to [`Request::Stats`].
     Stats(WireStats),
+    /// Reply to a guarded [`Request::Batch`] whose guards failed: the
+    /// whole batch aborted (zero writes). Carries the batch indices of
+    /// the failed [`BatchOp::Cas`] guards, ascending.
+    BatchAborted(Vec<u32>),
+    /// Reply to [`Request::Publish`]: the epoch just published.
+    Published(Epoch),
+    /// Reply to [`Request::Subscribe`].
+    FeedInfo(FeedInfo),
+    /// Reply to [`Request::PullDiff`]: everything that changed between
+    /// the requested epoch and `to` (the feed head), in ascending key
+    /// order. Empty when the replica is already at the head.
+    EpochDiff {
+        /// The epoch the diff brings the replica up to.
+        to: Epoch,
+        /// The changes, in ascending key order.
+        entries: Vec<DiffEntry<i64, i64>>,
+    },
+    /// Reply to [`Request::FullSync`]: one bounded page of the pinned
+    /// epoch's entries.
+    SyncPage {
+        /// The epoch being paged (pass it back for the next page).
+        epoch: Epoch,
+        /// The page's entries, in ascending key order.
+        entries: Vec<(i64, i64)>,
+        /// `true` if this page ends the epoch's state.
+        done: bool,
+    },
     /// The request could not be served.
     Error(WireError),
+}
+
+/// Bounds of the server's version feed, carried by
+/// [`Response::FeedInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeedInfo {
+    /// Newest published epoch (`0` = nothing published yet).
+    pub head: Epoch,
+    /// Oldest epoch still retained in the ring (`0` = empty feed).
+    pub oldest: Epoch,
+    /// Ring capacity: how many epochs the primary retains.
+    pub capacity: u64,
 }
 
 /// Backend and server statistics carried by [`Response::Stats`].
@@ -185,6 +283,11 @@ pub enum WireError {
     /// The server's version table is full (the payload is the cap);
     /// [`Request::Release`] unused snapshots to free slots.
     SnapshotLimit(u64),
+    /// A [`Request::PullDiff`]/[`Request::FullSync`] named an epoch no
+    /// longer retained in the feed ring (the payload is the oldest epoch
+    /// still available; `0` = the feed is empty). The replica lagged
+    /// past the ring and must fall back to a fresh [`Request::FullSync`].
+    EpochRetired(Epoch),
 }
 
 impl std::fmt::Display for WireError {
@@ -199,6 +302,12 @@ impl std::fmt::Display for WireError {
             ),
             WireError::SnapshotLimit(cap) => {
                 write!(f, "version table full ({cap} snapshots); release some")
+            }
+            WireError::EpochRetired(oldest) => {
+                write!(
+                    f,
+                    "epoch retired from the feed (oldest retained: {oldest}); full-sync"
+                )
             }
         }
     }
@@ -551,8 +660,9 @@ impl Request {
                 put_opt_i64(out, *expected);
                 put_opt_i64(out, *new);
             }
-            Request::Batch(ops) => {
+            Request::Batch { ops, guarded } => {
                 out.push(5);
+                put_bool(out, *guarded);
                 put_u32(out, ops.len() as u32);
                 for op in ops {
                     put_batch_op(out, op);
@@ -581,6 +691,22 @@ impl Request {
                 put_u64(out, *snapshot);
             }
             Request::Stats => out.push(10),
+            Request::Publish => out.push(11),
+            Request::Subscribe => out.push(12),
+            Request::PullDiff { from } => {
+                out.push(13);
+                put_u64(out, *from);
+            }
+            Request::FullSync {
+                epoch,
+                after,
+                limit,
+            } => {
+                out.push(14);
+                put_opt_u64(out, *epoch);
+                put_opt_i64(out, *after);
+                put_u32(out, *limit);
+            }
         }
     }
 
@@ -606,12 +732,13 @@ impl Request {
                 new: cur.opt_i64()?,
             },
             5 => {
+                let guarded = cur.bool()?;
                 let n = cur.seq_len(9)?;
                 let mut ops = Vec::with_capacity(n);
                 for _ in 0..n {
                     ops.push(cur.batch_op()?);
                 }
-                Request::Batch(ops)
+                Request::Batch { ops, guarded }
             }
             6 => Request::Snapshot,
             7 => Request::Range {
@@ -628,6 +755,14 @@ impl Request {
                 snapshot: cur.u64()?,
             },
             10 => Request::Stats,
+            11 => Request::Publish,
+            12 => Request::Subscribe,
+            13 => Request::PullDiff { from: cur.u64()? },
+            14 => Request::FullSync {
+                epoch: cur.opt_u64()?,
+                after: cur.opt_i64()?,
+                limit: cur.u32()?,
+            },
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "request",
@@ -723,7 +858,50 @@ impl Response {
                         out.push(4);
                         put_u64(out, *cap);
                     }
+                    WireError::EpochRetired(oldest) => {
+                        out.push(5);
+                        put_u64(out, *oldest);
+                    }
                 }
+            }
+            Response::BatchAborted(failed) => {
+                out.push(12);
+                put_u32(out, failed.len() as u32);
+                for i in failed {
+                    put_u32(out, *i);
+                }
+            }
+            Response::Published(epoch) => {
+                out.push(13);
+                put_u64(out, *epoch);
+            }
+            Response::FeedInfo(info) => {
+                out.push(14);
+                put_u64(out, info.head);
+                put_u64(out, info.oldest);
+                put_u64(out, info.capacity);
+            }
+            Response::EpochDiff { to, entries } => {
+                out.push(15);
+                put_u64(out, *to);
+                put_u32(out, entries.len() as u32);
+                for e in entries {
+                    put_diff_entry(out, e);
+                }
+            }
+            Response::SyncPage {
+                epoch,
+                entries,
+                done,
+            } => {
+                out.push(16);
+                put_u64(out, *epoch);
+                put_u32(out, entries.len() as u32);
+                for (k, v) in entries {
+                    put_i64(out, *k);
+                    put_i64(out, *v);
+                }
+                put_bool(out, *done);
             }
         }
     }
@@ -787,8 +965,45 @@ impl Response {
                 2 => WireError::Malformed,
                 3 => WireError::TooLarge,
                 4 => WireError::SnapshotLimit(cur.u64()?),
+                5 => WireError::EpochRetired(cur.u64()?),
                 tag => return Err(ProtoError::BadTag { what: "error", tag }),
             }),
+            12 => {
+                let n = cur.seq_len(4)?;
+                let mut failed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    failed.push(cur.u32()?);
+                }
+                Response::BatchAborted(failed)
+            }
+            13 => Response::Published(cur.u64()?),
+            14 => Response::FeedInfo(FeedInfo {
+                head: cur.u64()?,
+                oldest: cur.u64()?,
+                capacity: cur.u64()?,
+            }),
+            15 => {
+                let to = cur.u64()?;
+                let n = cur.seq_len(17)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(cur.diff_entry()?);
+                }
+                Response::EpochDiff { to, entries }
+            }
+            16 => {
+                let epoch = cur.u64()?;
+                let n = cur.seq_len(16)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((cur.i64()?, cur.i64()?));
+                }
+                Response::SyncPage {
+                    epoch,
+                    entries,
+                    done: cur.bool()?,
+                }
+            }
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "response",
@@ -921,16 +1136,27 @@ mod tests {
                 expected: Some(i64::MAX),
                 new: None,
             },
-            Request::Batch(vec![
-                BatchOp::Get(1),
-                BatchOp::Insert(2, 20),
-                BatchOp::Remove(3),
-                BatchOp::Cas {
+            Request::Batch {
+                ops: vec![
+                    BatchOp::Get(1),
+                    BatchOp::Insert(2, 20),
+                    BatchOp::Remove(3),
+                    BatchOp::Cas {
+                        key: 4,
+                        expected: None,
+                        new: Some(40),
+                    },
+                ],
+                guarded: false,
+            },
+            Request::Batch {
+                ops: vec![BatchOp::Cas {
                     key: 4,
-                    expected: None,
-                    new: Some(40),
-                },
-            ]),
+                    expected: Some(1),
+                    new: None,
+                }],
+                guarded: true,
+            },
             Request::Snapshot,
             Request::Range {
                 snapshot: Some(9),
@@ -951,6 +1177,19 @@ mod tests {
             Request::Diff { from: 3, to: None },
             Request::Release { snapshot: 11 },
             Request::Stats,
+            Request::Publish,
+            Request::Subscribe,
+            Request::PullDiff { from: 17 },
+            Request::FullSync {
+                epoch: None,
+                after: None,
+                limit: 0,
+            },
+            Request::FullSync {
+                epoch: Some(9),
+                after: Some(-3),
+                limit: 4096,
+            },
         ];
         for req in reqs {
             assert_eq!(roundtrip_request(&req), req);
@@ -992,11 +1231,32 @@ mod tests {
                 len: 8,
                 snapshots: 9,
             }),
+            Response::BatchAborted(vec![0, 3, 7]),
+            Response::Published(12),
+            Response::FeedInfo(FeedInfo {
+                head: 12,
+                oldest: 5,
+                capacity: 8,
+            }),
+            Response::EpochDiff {
+                to: 12,
+                entries: vec![DiffEntry::Added(1, 10), DiffEntry::Removed(2, 20)],
+            },
+            Response::EpochDiff {
+                to: 3,
+                entries: vec![],
+            },
+            Response::SyncPage {
+                epoch: 12,
+                entries: vec![(1, 10), (2, 20)],
+                done: true,
+            },
             Response::Error(WireError::UnknownSnapshot(77)),
             Response::Error(WireError::SnapshotMismatch),
             Response::Error(WireError::Malformed),
             Response::Error(WireError::TooLarge),
             Response::Error(WireError::SnapshotLimit(512)),
+            Response::Error(WireError::EpochRetired(4)),
         ];
         for resp in resps {
             assert_eq!(roundtrip_response(&resp), resp);
@@ -1082,8 +1342,27 @@ mod tests {
     fn corrupt_sequence_length_is_truncated_not_oom() {
         // A Batch frame claiming u32::MAX ops with a near-empty payload
         // must fail cleanly instead of attempting a giant allocation.
-        let mut body = vec![PROTO_VERSION, 5];
+        let mut body = vec![PROTO_VERSION, 5, 0 /* guarded: false */];
         put_u32(&mut body, u32::MAX);
         assert!(matches!(Request::decode(&body), Err(ProtoError::Truncated)));
+    }
+
+    #[test]
+    fn sync_page_cap_fits_the_frame_cap_with_room() {
+        // The chunking invariant: a maximal SyncPage must encode well
+        // under MAX_FRAME_LEN (satellite: FullSync bootstrap can never
+        // trip the frame cap, however big the map).
+        let page = Response::SyncPage {
+            epoch: u64::MAX,
+            entries: vec![(i64::MIN, i64::MAX); SYNC_PAGE_MAX_ENTRIES as usize],
+            done: false,
+        };
+        let mut body = Vec::new();
+        page.encode(&mut body);
+        assert!(
+            (body.len() as u32) < MAX_FRAME_LEN / 4,
+            "maximal sync page ({} bytes) too close to the frame cap",
+            body.len()
+        );
     }
 }

@@ -32,9 +32,11 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use crate::backend::{ServeBackend, ServeSnapshot};
+use crate::feed::VersionFeed;
 use crate::pool::ThreadPool;
 use crate::proto::{
     read_request, write_response, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
+    MAX_FRAME_LEN, SYNC_PAGE_MAX_ENTRIES,
 };
 
 /// Tunables for [`spawn`].
@@ -53,6 +55,12 @@ pub struct ServerConfig {
     /// [`Request::Snapshot`] beyond the cap is refused with
     /// [`WireError::SnapshotLimit`].
     pub max_snapshots: usize,
+    /// How many published epochs the replication feed retains
+    /// ([`Request::Publish`]; min 1). A replica whose applied epoch is
+    /// retired from the ring must bootstrap again via
+    /// [`Request::FullSync`], so this bounds how far a replica may lag
+    /// while still catching up with cheap diffs.
+    pub feed_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +69,7 @@ impl Default for ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 4,
             max_snapshots: 1024,
+            feed_capacity: 64,
         }
     }
 }
@@ -84,6 +93,10 @@ struct Shared {
     snapshots: Mutex<HashMap<SnapshotId, Arc<dyn ServeSnapshot>>>,
     next_snapshot: AtomicU64,
     max_snapshots: usize,
+    /// The replication feed: epoch-keyed recent versions replicas sync
+    /// from ([`Request::Publish`]/[`Request::PullDiff`]/
+    /// [`Request::FullSync`]).
+    feed: VersionFeed,
     /// Open-connection registry (`try_clone` handles), kept so shutdown
     /// can unblock workers parked in a blocking read.
     conns: Mutex<HashMap<u64, TcpStream>>,
@@ -126,6 +139,7 @@ pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result
         snapshots: Mutex::new(HashMap::new()),
         next_snapshot: AtomicU64::new(0),
         max_snapshots: config.max_snapshots,
+        feed: VersionFeed::new(config.feed_capacity),
         conns: Mutex::new(HashMap::new()),
         next_conn: AtomicU64::new(0),
         requests: AtomicU64::new(0),
@@ -291,7 +305,16 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
         Request::Cas { key, expected, new } => {
             Response::CasApplied(shared.backend.cas(key, expected, new))
         }
-        Request::Batch(ops) => Response::Batch(shared.backend.transact(&ops)),
+        Request::Batch { ops, guarded } => {
+            if guarded {
+                match shared.backend.transact_guarded(&ops) {
+                    Ok(results) => Response::Batch(results),
+                    Err(failed) => Response::BatchAborted(failed),
+                }
+            } else {
+                Response::Batch(shared.backend.transact(&ops))
+            }
+        }
         Request::Snapshot => {
             let mut table = shared.snapshots.lock();
             if table.len() >= shared.max_snapshots {
@@ -331,6 +354,75 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
         Request::Release { snapshot } => {
             Response::Released(shared.snapshots.lock().remove(&snapshot).is_some())
         }
+        Request::Publish => Response::Published(shared.feed.publish(shared.backend.snapshot())),
+        Request::Subscribe => Response::FeedInfo(shared.feed.info()),
+        Request::PullDiff { from } => {
+            let Some(from_snap) = shared.feed.get(from) else {
+                return Response::Error(WireError::EpochRetired(shared.feed.info().oldest));
+            };
+            // `from` is retained, so the feed is non-empty and has a head.
+            let (to, head) = shared.feed.head().expect("non-empty feed");
+            if to == from {
+                return Response::EpochDiff {
+                    to,
+                    entries: Vec::new(),
+                };
+            }
+            match from_snap.diff(head.as_ref()) {
+                // A diff entry encodes to at least 17 bytes, so a reply
+                // that cannot possibly fit the frame cap is refused here,
+                // before encoding a multi-megabyte body just to discard
+                // it (the client falls back to a chunked FullSync).
+                Some(entries) if entries.len() as u64 * 17 > MAX_FRAME_LEN as u64 => {
+                    Response::Error(WireError::TooLarge)
+                }
+                Some(entries) => Response::EpochDiff { to, entries },
+                None => Response::Error(WireError::SnapshotMismatch),
+            }
+        }
+        Request::FullSync {
+            epoch,
+            after,
+            limit,
+        } => {
+            let (epoch, snap) = match epoch {
+                // A fresh sync serves the current head, publishing a new
+                // epoch only when the feed is empty. Reusing the head
+                // keeps concurrent bootstraps on one shared pin —
+                // publishing per bootstrap would retire rival pins and
+                // could livelock restarts on a tiny ring — and the
+                // replica lands exactly on a feed version either way,
+                // catching up to later writes with diffs.
+                None => match shared.feed.head() {
+                    Some((e, snap)) => (e, snap),
+                    None => {
+                        let snap = shared.backend.snapshot();
+                        (shared.feed.publish(Arc::clone(&snap)), snap)
+                    }
+                },
+                Some(e) => match shared.feed.get(e) {
+                    Some(snap) => (e, snap),
+                    None => {
+                        return Response::Error(WireError::EpochRetired(shared.feed.info().oldest))
+                    }
+                },
+            };
+            let page = if limit == 0 {
+                SYNC_PAGE_MAX_ENTRIES
+            } else {
+                limit.min(SYNC_PAGE_MAX_ENTRIES)
+            };
+            let lo = match after {
+                None => std::ops::Bound::Unbounded,
+                Some(k) => std::ops::Bound::Excluded(k),
+            };
+            let (entries, complete) = snap.range(lo, std::ops::Bound::Unbounded, page as usize);
+            Response::SyncPage {
+                epoch,
+                entries,
+                done: complete,
+            }
+        }
         Request::Stats => {
             let s = shared.backend.stats();
             Response::Stats(WireStats {
@@ -353,6 +445,7 @@ mod tests {
     use super::*;
     use crate::backend::ShardedServe;
     use crate::client::Client;
+    use pathcopy_concurrent::BatchOp;
 
     fn sharded_server() -> ServerHandle {
         spawn(
@@ -452,6 +545,138 @@ mod tests {
         ));
         assert!(c.release(ids[0]).unwrap(), "release frees a slot");
         c.snapshot().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn feed_publish_pull_diff_and_retirement_over_the_wire() {
+        let server = spawn(
+            Box::new(ShardedServe::with_shards(8)),
+            ServerConfig {
+                feed_capacity: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+
+        let info = c.feed_info().unwrap();
+        assert_eq!((info.head, info.oldest, info.capacity), (0, 0, 2));
+
+        c.insert(1, 10).unwrap();
+        let e1 = c.publish().unwrap();
+        assert_eq!(e1, 1);
+
+        // At the head: the diff is empty.
+        let (to, diff) = c.pull_diff(e1).unwrap();
+        assert_eq!(to, e1);
+        assert!(diff.is_empty());
+
+        c.insert(1, 11).unwrap();
+        c.insert(2, 20).unwrap();
+        let e2 = c.publish().unwrap();
+        let (to, diff) = c.pull_diff(e1).unwrap();
+        assert_eq!(to, e2);
+        assert_eq!(diff.len(), 2, "changed + added");
+
+        // Capacity 2: a third publish retires e1.
+        c.insert(3, 30).unwrap();
+        let _e3 = c.publish().unwrap();
+        let err = c.pull_diff(e1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Server(WireError::EpochRetired(oldest)) if oldest == e2
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_sync_pages_are_bounded_and_pinned() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for k in 0..100 {
+            c.insert(k, k * 2).unwrap();
+        }
+        // First page pins a fresh epoch.
+        let (epoch, page1, done) = c.full_sync_page(None, None, 32).unwrap();
+        assert_eq!(page1.len(), 32);
+        assert!(!done);
+        // Writes after the pin must not leak into later pages.
+        c.insert(1000, 1).unwrap();
+        c.remove(page1.last().unwrap().0 + 1).unwrap();
+        let mut all = page1.clone();
+        let mut after = Some(page1.last().unwrap().0);
+        loop {
+            let (e, page, done) = c.full_sync_page(Some(epoch), after, 32).unwrap();
+            assert_eq!(e, epoch);
+            all.extend_from_slice(&page);
+            if done {
+                break;
+            }
+            after = Some(page.last().unwrap().0);
+        }
+        assert_eq!(all.len(), 100, "exactly the pinned version's entries");
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "ordered pages");
+        assert_eq!(all, (0..100).map(|k| (k, k * 2)).collect::<Vec<_>>());
+        server.shutdown();
+    }
+
+    #[test]
+    fn guarded_batch_over_the_wire_aborts_cleanly() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.insert(1, 10).unwrap();
+        let aborted = c
+            .batch_guarded(&[
+                BatchOp::Insert(2, 20),
+                BatchOp::Cas {
+                    key: 1,
+                    expected: Some(99),
+                    new: Some(100),
+                },
+            ])
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(aborted, vec![1]);
+        assert_eq!(c.get(2).unwrap(), None, "abort left no partial writes");
+
+        let committed = c
+            .batch_guarded(&[
+                BatchOp::Insert(2, 20),
+                BatchOp::Cas {
+                    key: 1,
+                    expected: Some(10),
+                    new: Some(11),
+                },
+            ])
+            .unwrap()
+            .expect("guards match");
+        assert_eq!(committed.len(), 2);
+        assert_eq!(c.get(1).unwrap(), Some(11));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_wire_bytes_count_both_directions() {
+        let server = sharded_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let before = c.wire_bytes();
+        assert_eq!(before.total(), 0);
+        c.insert(1, 10).unwrap();
+        let after = c.wire_bytes();
+        assert!(after.sent > 0 && after.received > 0);
+        // A 100-entry range moves visibly more than a point op.
+        for k in 0..100 {
+            c.insert(k, k).unwrap();
+        }
+        let before_scan = c.wire_bytes();
+        c.range(None, .., 0).unwrap();
+        let scan = c.wire_bytes().since(&before_scan);
+        assert!(
+            scan.received > 100 * 16,
+            "scan reply bytes ({}) must cover the entries",
+            scan.received
+        );
         server.shutdown();
     }
 

@@ -8,7 +8,9 @@ use proptest::prelude::*;
 
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
-use pathcopy_server::proto::{ProtoError, Request, Response, WireError, WireStats, PROTO_VERSION};
+use pathcopy_server::proto::{
+    FeedInfo, ProtoError, Request, Response, WireError, WireStats, PROTO_VERSION,
+};
 
 fn arb_opt_i64() -> impl Strategy<Value = Option<i64>> {
     (any::<bool>(), any::<i64>()).prop_map(|(some, v)| some.then_some(v))
@@ -43,7 +45,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<i64>().prop_map(|key| Request::Remove { key }),
         (any::<i64>(), arb_opt_i64(), arb_opt_i64())
             .prop_map(|(key, expected, new)| Request::Cas { key, expected, new }),
-        prop::collection::vec(arb_batch_op(), 0..17).prop_map(Request::Batch),
+        (prop::collection::vec(arb_batch_op(), 0..17), any::<bool>())
+            .prop_map(|(ops, guarded)| Request::Batch { ops, guarded }),
         Just(Request::Snapshot),
         (arb_opt_u64(), arb_bound(), (arb_bound(), any::<u32>())).prop_map(
             |(snapshot, lo, (hi, limit))| Request::Range {
@@ -56,6 +59,16 @@ fn arb_request() -> impl Strategy<Value = Request> {
         (any::<u64>(), arb_opt_u64()).prop_map(|(from, to)| Request::Diff { from, to }),
         any::<u64>().prop_map(|snapshot| Request::Release { snapshot }),
         Just(Request::Stats),
+        Just(Request::Publish),
+        Just(Request::Subscribe),
+        any::<u64>().prop_map(|from| Request::PullDiff { from }),
+        (arb_opt_u64(), arb_opt_i64(), any::<u32>()).prop_map(|(epoch, after, limit)| {
+            Request::FullSync {
+                epoch,
+                after,
+                limit,
+            }
+        }),
     ]
 }
 
@@ -121,6 +134,28 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Error(WireError::Malformed)),
         Just(Response::Error(WireError::TooLarge)),
         any::<u64>().prop_map(|cap| Response::Error(WireError::SnapshotLimit(cap))),
+        any::<u64>().prop_map(|oldest| Response::Error(WireError::EpochRetired(oldest))),
+        prop::collection::vec(any::<u32>(), 0..9).prop_map(Response::BatchAborted),
+        any::<u64>().prop_map(Response::Published),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(head, oldest, capacity)| {
+            Response::FeedInfo(FeedInfo {
+                head,
+                oldest,
+                capacity,
+            })
+        }),
+        (any::<u64>(), prop::collection::vec(arb_diff_entry(), 0..33))
+            .prop_map(|(to, entries)| Response::EpochDiff { to, entries }),
+        (
+            any::<u64>(),
+            prop::collection::vec((any::<i64>(), any::<i64>()), 0..33),
+            any::<bool>()
+        )
+            .prop_map(|(epoch, entries, done)| Response::SyncPage {
+                epoch,
+                entries,
+                done,
+            }),
     ]
 }
 
@@ -187,7 +222,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_request_tags_are_rejected(tag in 11u8..=255, payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_request_tags_are_rejected(tag in 15u8..=255, payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION, tag];
         body.extend(payload);
         prop_assert!(matches!(
@@ -197,7 +232,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_response_tags_are_rejected(tag in 12u8..=255, payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_response_tags_are_rejected(tag in 17u8..=255, payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION, tag];
         body.extend(payload);
         prop_assert!(matches!(
@@ -219,14 +254,22 @@ fn truncated_request_strict_prefixes_all_fail() {
     // The deterministic exhaustive version of the truncation property for
     // one representative of every variant family.
     let reqs = [
-        Request::Batch(vec![
-            BatchOp::Insert(1, 2),
-            BatchOp::Cas {
-                key: 3,
-                expected: Some(4),
-                new: None,
-            },
-        ]),
+        Request::Batch {
+            ops: vec![
+                BatchOp::Insert(1, 2),
+                BatchOp::Cas {
+                    key: 3,
+                    expected: Some(4),
+                    new: None,
+                },
+            ],
+            guarded: true,
+        },
+        Request::FullSync {
+            epoch: Some(3),
+            after: Some(9),
+            limit: 16,
+        },
         Request::Range {
             snapshot: Some(1),
             lo: Bound::Included(0),

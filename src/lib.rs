@@ -22,8 +22,12 @@
 //! * [`pathcopy_workloads`] — the §4 Batch/Random workload generators.
 //! * [`pathcopy_server`] — the serving layer: a length-prefixed binary
 //!   wire protocol, a thread-pooled blocking TCP server generic over the
-//!   backend registry, a reusable client, and the `loadgen` traffic
-//!   generator (`std::net` only — no async runtime).
+//!   backend registry, a reusable client, and the primary-side
+//!   replication feed (`std::net` only — no async runtime).
+//! * [`pathcopy_replica`] — snapshot-diff replication: replicas that
+//!   bootstrap from a chunked full sync, then follow the primary's
+//!   version feed with pruned diffs; plus the `loadgen` traffic
+//!   generator (`--replicas N` for the read scale-out topology).
 //!
 //! ## Choosing a backend
 //!
@@ -217,6 +221,71 @@
 //! `cargo run --release --example kv_server_demo`;
 //! `cargo bench --bench server_rtt`.
 //!
+//! ## Replication: read scale-out from snapshot diffs
+//!
+//! Path copying makes the delta between two nearby versions *sublinear*
+//! to compute (the pruned `diff`), which is exactly the primitive
+//! log-shipping replication wants: instead of streaming full state, a
+//! primary publishes a monotone **version feed** — a capped ring of
+//! recent snapshots keyed by epoch, nearly free to retain because the
+//! versions share all unchanged subtrees — and [`pathcopy_replica`]
+//! replicas catch up by pulling `diff(applied, head)` over the wire.
+//! Bootstrap (and falling too far behind the ring) goes through a
+//! chunked `FullSync` that can never trip the frame cap; every diff is
+//! applied to the replica's local backend as **one atomic batch**, so
+//! replica readers only ever observe published versions. The replica
+//! serves the same backend surface as the primary, so read traffic
+//! points at replicas unchanged (`loadgen --replicas N`):
+//!
+//! ```
+//! use path_copying::pathcopy_replica::{Replica, SyncOutcome};
+//! use pathcopy_server::{backend, Client, ServerConfig};
+//!
+//! let primary = pathcopy_server::spawn(
+//!     backend::by_name("sharded_map_8").unwrap(),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let mut writer = Client::connect(primary.addr()).unwrap();
+//! writer.insert(1, 10).unwrap();
+//!
+//! // Bootstrap is a chunked full transfer...
+//! let mut replica = Replica::connect(
+//!     primary.addr(),
+//!     backend::by_name("sharded_map_8").unwrap(),
+//! )
+//! .unwrap();
+//! replica.sync_once().unwrap();
+//! assert_eq!(replica.store().get(1), Some(10));
+//!
+//! // ...after which each published epoch syncs as a pruned diff:
+//! // O(changes) bytes, not O(map).
+//! writer.insert(2, 20).unwrap();
+//! writer.publish().unwrap();
+//! assert!(matches!(
+//!     replica.sync_once().unwrap(),
+//!     SyncOutcome::Diff { changes: 1, .. }
+//! ));
+//! assert_eq!(replica.store().get(2), Some(20));
+//! assert_eq!(replica.stats().lag(), 0);
+//! primary.shutdown();
+//! ```
+//!
+//! (On a real map the byte asymmetry is stark — the `replica_sync`
+//! bench tabulates it, and `crates/replica/tests/transfer_cost.rs`
+//! asserts it on a 100k-key map.)
+//!
+//! Guarded mini-transactions ride the same wire: a `Batch` frame with
+//! the `guarded` flag aborts **whole-batch, zero writes** when any `Cas`
+//! guard fails
+//! ([`Client::batch_guarded`](pathcopy_server::Client::batch_guarded),
+//! [`ShardedTreapMap::transact_guarded`](prelude::ShardedTreapMap::transact_guarded)).
+//!
+//! See it run: `cargo run --release --example cluster_demo` (1 primary,
+//! 2 replicas, concurrent writer, replica readers verifying they only
+//! ever see frozen versions); `cargo bench --bench replica_sync`
+//! (diff-sync vs full-sync transfer bytes as write locality varies).
+//!
 //! ## Building and testing
 //!
 //! The workspace is self-contained — external dependencies are vendored
@@ -233,6 +302,7 @@
 
 pub use pathcopy_concurrent;
 pub use pathcopy_core;
+pub use pathcopy_replica;
 pub use pathcopy_server;
 pub use pathcopy_sim;
 pub use pathcopy_trees;
@@ -241,8 +311,8 @@ pub use pathcopy_workloads;
 /// One-line import for the common API.
 pub mod prelude {
     pub use pathcopy_concurrent::{
-        AvlSet as ConcurrentAvlSet, BatchOp, BatchResult, EbstSnapshot,
-        ExternalBstSet as ConcurrentExternalBstSet, LockedMap, LockedTreapSet, Queue,
+        diff_to_ops, AvlSet as ConcurrentAvlSet, BatchOp, BatchResult, EbstSnapshot,
+        ExternalBstSet as ConcurrentExternalBstSet, GuardAbort, LockedMap, LockedTreapSet, Queue,
         RbSet as ConcurrentRbSet, RwLockedTreapSet, ShardedSetSnapshot, ShardedSnapshot,
         ShardedTreapMap, ShardedTreapSet, Stack, TreapMap, TreapSet, TreapSetSnapshot,
         TreapSnapshot,
@@ -252,6 +322,7 @@ pub mod prelude {
         RwLockUc, SeqUc, SetDiffEntry, SetSnapshot, Snapshottable, StatsSnapshot, Update,
         VersionCell,
     };
+    pub use pathcopy_replica::{Replica, ReplicaStatsSnapshot, SyncOutcome};
     pub use pathcopy_trees::{
         avl::AvlMap, avl::AvlSet, list::PStack, pvec::PVec, queue::PQueue, rbtree::RbMap,
         rbtree::RbSet, ExternalBstSet, TreapMap as PersistentTreapMap,

@@ -292,7 +292,12 @@ proptest! {
             let done_ref = &done;
             let checker = s.spawn(move || {
                 let mut cuts = 0u64;
-                while !done_ref.load(Relaxed) {
+                // Check-then-test ordering guarantees at least one cut
+                // even when the writers outrun the checker's first
+                // schedule slot on a loaded single-core machine — the
+                // final iteration runs against the quiesced map.
+                loop {
+                    let finished = done_ref.load(Relaxed);
                     let snap = m.snapshot_all();
                     for t in 0..THREADS {
                         let base = t * 1000;
@@ -305,6 +310,9 @@ proptest! {
                         );
                     }
                     cuts += 1;
+                    if finished {
+                        break;
+                    }
                 }
                 cuts
             });

@@ -255,6 +255,91 @@ fn failing_cas_guard_in_a_batch_is_observed_atomically() {
 }
 
 #[test]
+fn guarded_wire_batch_failed_guard_leaves_zero_partial_writes() {
+    let server = sharded_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.insert(0, 0).unwrap(); // the guarded counter
+
+    // Deterministic: a cross-shard guarded batch with a stale guard in
+    // the middle aborts with no trace of the 32 rider inserts.
+    let mut batch: Vec<BatchOp<i64, i64>> = (500..532).map(|k| BatchOp::Insert(k, k)).collect();
+    batch.insert(
+        16,
+        BatchOp::Cas {
+            key: 0,
+            expected: Some(42), // stale
+            new: Some(43),
+        },
+    );
+    let failed = c.batch_guarded(&batch).unwrap().unwrap_err();
+    assert_eq!(failed, vec![16]);
+    let (leaked, complete) = c.range(None, 500..532, 0).unwrap();
+    assert!(complete);
+    assert!(leaked.is_empty(), "aborted batch leaked: {leaked:?}");
+    assert_eq!(c.get(0).unwrap(), Some(0));
+
+    // Concurrent: two writers race guarded increments, each commit
+    // depositing a unique "rider" key; the guard makes exactly one
+    // winner per counter value, so on ANY coherent cut the riders
+    // present must be exactly {1001..=1000+counter} — a single leaked
+    // write from an aborted batch, or a torn commit, breaks it.
+    let writers_done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let writers_done = &writers_done;
+        for _ in 0..2 {
+            s.spawn(move || {
+                let mut writer = Client::connect(addr).unwrap();
+                for _ in 0..150 {
+                    let seen = writer.get(0).unwrap().unwrap();
+                    let next = seen + 1;
+                    match writer
+                        .batch_guarded(&[
+                            BatchOp::Cas {
+                                key: 0,
+                                expected: Some(seen),
+                                new: Some(next),
+                            },
+                            BatchOp::Insert(1000 + next, next),
+                        ])
+                        .unwrap()
+                    {
+                        Ok(results) => assert_eq!(results[0], BatchResult::Cas(true)),
+                        Err(failed) => assert_eq!(failed, vec![0]),
+                    }
+                }
+                writers_done.fetch_add(1, Ordering::Release);
+            });
+        }
+        s.spawn(move || {
+            let mut auditor = Client::connect(addr).unwrap();
+            let mut audits = 0u32;
+            while writers_done.load(Ordering::Acquire) < 2 || audits < 3 {
+                let (entries, complete) = auditor.range(None, .., 0).unwrap();
+                assert!(complete);
+                let counter = entries
+                    .iter()
+                    .find(|(k, _)| *k == 0)
+                    .map(|(_, v)| *v)
+                    .expect("counter exists");
+                let riders: Vec<i64> = entries
+                    .iter()
+                    .filter(|(k, _)| (1000..2000).contains(k))
+                    .map(|(k, _)| *k - 1000)
+                    .collect();
+                assert_eq!(
+                    riders,
+                    (1..=counter).collect::<Vec<i64>>(),
+                    "riders must be exactly one per committed guard (counter={counter})"
+                );
+                audits += 1;
+            }
+        });
+    });
+    server.shutdown();
+}
+
+#[test]
 fn every_registered_backend_serves_the_same_contract() {
     for entry in backend::backends() {
         let server = pathcopy_server::spawn((entry.make)(), ServerConfig::with_workers(2))
