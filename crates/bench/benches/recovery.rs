@@ -1,0 +1,137 @@
+//! Durable-log recovery cost as the checkpoint cadence varies.
+//!
+//! Setup per cadence: a 5 000-key map is checkpointed and then driven
+//! through 256 published epochs of 32-entry diffs, checkpointing every
+//! `checkpoint_every` epochs — exactly the record mix `FeedPersister`
+//! produces. The timings then measure the cold paths a restart pays:
+//!
+//! * `open_replay` — [`EpochLog::open`] (segment scan + chain
+//!   validation) plus [`replay`](EpochLog::replay) of the head state.
+//!   Denser checkpoints mean a shorter diff tail to replay but more
+//!   checkpoint bytes to scan past on open.
+//! * `restore_mid` — [`restore_epoch`](EpochLog::restore_epoch) at the
+//!   halfway epoch: seek to the newest checkpoint at or below the
+//!   target, then roll diffs forward.
+//!
+//! The printed table shows the storage side of the same trade:
+//! segments and total bytes grow with checkpoint density while the
+//! recovery tail shrinks.
+//!
+//! Run `BENCH_JSON=out.jsonl cargo bench --bench recovery` to capture
+//! machine-readable medians (CI uploads these as `BENCH_ci.json`).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcopy_bench::table::Series;
+use pathcopy_core::DiffEntry;
+use pathcopy_durable::{EpochLog, LogConfig};
+use pathcopy_server::backend::{ServeBackend, ShardedServe};
+
+const MAP_SIZE: i64 = 5_000;
+const EPOCHS: u64 = 256;
+const DIFF_ENTRIES: i64 = 32;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pathcopy-bench-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a log with the record mix the feed persister would produce:
+/// a full checkpoint every `every` epochs, small diffs in between.
+fn build_log(dir: &std::path::Path, every: u64) -> EpochLog {
+    let (log, _) = EpochLog::open(
+        dir,
+        LogConfig {
+            fsync: false, // measure record/replay cost, not the disk
+            max_total_bytes: u64::MAX,
+            ..LogConfig::default()
+        },
+    )
+    .expect("open bench log");
+    let map = ShardedServe::with_shards(8);
+    for k in 0..MAP_SIZE {
+        map.insert(k, k);
+    }
+    let mut last_checkpoint = 0u64;
+    for epoch in 1..=EPOCHS {
+        let mut diff = Vec::with_capacity(DIFF_ENTRIES as usize);
+        for i in 0..DIFF_ENTRIES {
+            // Deterministic churn over a rotating key window.
+            let k = (epoch as i64 * DIFF_ENTRIES + i) % MAP_SIZE;
+            let old = map.insert(k, epoch as i64).expect("key pre-seeded");
+            diff.push(DiffEntry::Changed(k, old, epoch as i64));
+        }
+        if last_checkpoint == 0 || epoch - last_checkpoint >= every {
+            log.append_checkpoint(epoch, map.snapshot().as_ref())
+                .expect("checkpoint");
+            last_checkpoint = epoch;
+        } else {
+            log.append_diff(epoch, &diff).expect("diff");
+        }
+    }
+    log
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(800));
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for every in [8u64, 64, 256] {
+        let dir = scratch(&format!("every{every}"));
+        let log = build_log(&dir, every);
+        let (segments, total_bytes, head) = (log.segment_count(), log.total_bytes(), log.head());
+        assert_eq!(head, EPOCHS, "all epochs persisted");
+        drop(log);
+
+        group.bench_function(BenchmarkId::new("open_replay", every), |b| {
+            b.iter(|| {
+                let (log, recovered) = EpochLog::open(&dir, LogConfig::default()).expect("reopen");
+                assert_eq!(recovered.truncated_bytes, 0, "clean shutdown");
+                let (state, head) = log.replay().expect("replay");
+                assert_eq!(head, EPOCHS);
+                state.len()
+            })
+        });
+        let (log, _) = EpochLog::open(&dir, LogConfig::default()).expect("reopen for restore");
+        group.bench_function(BenchmarkId::new("restore_mid", every), |b| {
+            b.iter(|| log.restore_epoch(EPOCHS / 2).expect("restore").len())
+        });
+        drop(log);
+
+        rows.push(vec![
+            every as f64,
+            segments as f64,
+            total_bytes as f64,
+            (EPOCHS / every.max(1)).max(1) as f64,
+        ]);
+        std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+    }
+    group.finish();
+
+    let table = Series {
+        title: format!(
+            "recovery log shape ({MAP_SIZE}-key map, {EPOCHS} epochs, {DIFF_ENTRIES}-entry diffs)"
+        ),
+        columns: vec![
+            "checkpoint_every".into(),
+            "segments".into(),
+            "total_bytes".into(),
+            "checkpoints".into(),
+        ],
+        rows,
+    };
+    print!("{}", table.render());
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

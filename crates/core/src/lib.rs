@@ -45,6 +45,8 @@ pub use api::{
 };
 pub use backoff::{Backoff, BackoffPolicy};
 pub use lock_uc::{MutexUc, RwLockUc, SeqUc};
-pub use stats::{ByteCounters, ByteCountersSnapshot, StatsSnapshot, UcStats};
+pub use stats::{
+    ByteCounters, ByteCountersSnapshot, IoCounters, IoCountersSnapshot, StatsSnapshot, UcStats,
+};
 pub use uc::{PathCopyUc, Update, UpdateReport};
 pub use version::{CasError, VersionCell};

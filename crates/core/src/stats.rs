@@ -247,9 +247,115 @@ impl ByteCountersSnapshot {
     }
 }
 
+/// Shared, thread-safe storage-IO accounting: appends, fsyncs, and bytes
+/// moved to and from a durable medium (the epoch log's segment files).
+///
+/// Like [`ByteCounters`], the counters are monotonic relaxed atomics —
+/// diagnostics, not synchronization. The durability layer uses a block
+/// of these to make its fsync discipline observable: a healthy primary
+/// shows `fsyncs` tracking `appends` (one sync per published epoch when
+/// the log is configured durable) and `bytes_read` staying near zero
+/// outside recovery and point-in-time restores.
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    appends: CachePadded<AtomicU64>,
+    fsyncs: CachePadded<AtomicU64>,
+    bytes_written: CachePadded<AtomicU64>,
+    bytes_read: CachePadded<AtomicU64>,
+}
+
+impl IoCounters {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one appended record (a diff record or one checkpoint page).
+    pub fn record_append(&self) {
+        self.appends.fetch_add(1, Relaxed);
+    }
+
+    /// Records one `fsync`/`fdatasync` round trip to the medium.
+    pub fn record_fsync(&self) {
+        self.fsyncs.fetch_add(1, Relaxed);
+    }
+
+    /// Records `n` bytes written to the medium.
+    pub fn add_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Relaxed);
+    }
+
+    /// Records `n` bytes read back from the medium (recovery, replay,
+    /// point-in-time restore).
+    pub fn add_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Relaxed);
+    }
+
+    /// Takes a consistent-enough copy of all four counters.
+    pub fn snapshot(&self) -> IoCountersSnapshot {
+        IoCountersSnapshot {
+            appends: self.appends.load(Relaxed),
+            fsyncs: self.fsyncs.load(Relaxed),
+            bytes_written: self.bytes_written.load(Relaxed),
+            bytes_read: self.bytes_read.load(Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`IoCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoCountersSnapshot {
+    /// Records appended to the durable medium.
+    pub appends: u64,
+    /// Completed `fsync`/`fdatasync` calls.
+    pub fsyncs: u64,
+    /// Bytes written to the medium.
+    pub bytes_written: u64,
+    /// Bytes read back from the medium.
+    pub bytes_read: u64,
+}
+
+impl IoCountersSnapshot {
+    /// IO accumulated since an earlier snapshot of the same block.
+    pub fn since(&self, earlier: &IoCountersSnapshot) -> IoCountersSnapshot {
+        IoCountersSnapshot {
+            appends: self.appends - earlier.appends,
+            fsyncs: self.fsyncs - earlier.fsyncs,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn io_counters_accumulate_and_delta() {
+        let c = IoCounters::new();
+        c.record_append();
+        c.record_fsync();
+        c.add_written(128);
+        let first = c.snapshot();
+        assert_eq!(
+            first,
+            IoCountersSnapshot {
+                appends: 1,
+                fsyncs: 1,
+                bytes_written: 128,
+                bytes_read: 0
+            }
+        );
+        c.record_append();
+        c.add_written(64);
+        c.add_read(1024);
+        let delta = c.snapshot().since(&first);
+        assert_eq!(delta.appends, 1);
+        assert_eq!(delta.fsyncs, 0);
+        assert_eq!(delta.bytes_written, 64);
+        assert_eq!(delta.bytes_read, 1024);
+    }
 
     #[test]
     fn byte_counters_accumulate_and_delta() {

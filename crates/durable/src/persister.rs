@@ -1,0 +1,106 @@
+//! The glue between the primary's feed and the log: a
+//! [`FeedSink`] that appends every published epoch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pathcopy_server::backend::ServeSnapshot;
+use pathcopy_server::proto::Epoch;
+use pathcopy_server::FeedSink;
+
+use crate::log::{EpochLog, LogError};
+
+/// Persists a `VersionFeed` into an [`EpochLog`].
+///
+/// Install it as
+/// [`ServerConfig::feed_sink`](pathcopy_server::ServerConfig) (or pass
+/// it to `VersionFeed::configured`) and every published epoch becomes
+/// durable before `publish` returns:
+///
+/// * normally, the epoch's **pruned diff** against its predecessor —
+///   the identical `prev.diff(snap)` the server would send a replica,
+///   sublinear in map size thanks to path copying;
+/// * a full **checkpoint** when one is due
+///   ([`LogConfig::checkpoint_every`](crate::LogConfig)), when there is
+///   no predecessor snapshot (the first publish after recovery), when
+///   the snapshots cannot be diffed, or when a diff append fails —
+///   checkpoints re-base the log, so any failure self-heals at the next
+///   epoch at the cost of one full-state write.
+///
+/// Publication cannot be un-announced, so the sink cannot make
+/// `publish` fail; log errors are parked for the operator instead
+/// ([`take_error`](Self::take_error) / [`error_count`](Self::error_count)).
+///
+/// Epochs at or below the log's head are skipped, which makes the sink
+/// idempotent when a recovered primary replays publishes it already
+/// persisted.
+pub struct FeedPersister {
+    log: Arc<EpochLog>,
+    last_error: Mutex<Option<LogError>>,
+    errors: AtomicU64,
+}
+
+impl FeedPersister {
+    /// Wraps `log` as a feed sink.
+    pub fn new(log: Arc<EpochLog>) -> Arc<Self> {
+        Arc::new(FeedPersister {
+            log,
+            last_error: Mutex::new(None),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The log being written.
+    pub fn log(&self) -> &Arc<EpochLog> {
+        &self.log
+    }
+
+    /// Takes (and clears) the most recent append error, if any.
+    pub fn take_error(&self) -> Option<LogError> {
+        self.last_error.lock().take()
+    }
+
+    /// Total appends that failed (each also re-based via a checkpoint
+    /// attempt at the next opportunity).
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn record_error(&self, e: LogError) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock() = Some(e);
+    }
+}
+
+impl FeedSink for FeedPersister {
+    fn on_publish(
+        &self,
+        epoch: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        snap: &Arc<dyn ServeSnapshot>,
+    ) {
+        if epoch <= self.log.head() {
+            return; // already durable (recovered primary republishing)
+        }
+        let every = self.log.config().checkpoint_every.max(1);
+        let last = self.log.last_checkpoint();
+        let checkpoint_due = last == 0 || epoch - last >= every;
+        let result = match prev {
+            Some(prev) if !checkpoint_due => match prev.diff(snap.as_ref()) {
+                Some(entries) => self
+                    .log
+                    .append_diff(epoch, &entries)
+                    // Oversized diff, sequence gap after an earlier
+                    // failure, …: re-base with a checkpoint.
+                    .or_else(|_| self.log.append_checkpoint(epoch, snap.as_ref())),
+                None => self.log.append_checkpoint(epoch, snap.as_ref()),
+            },
+            _ => self.log.append_checkpoint(epoch, snap.as_ref()),
+        };
+        if let Err(e) = result {
+            self.record_error(e);
+        }
+    }
+}

@@ -7,7 +7,8 @@
 //! cargo run --release --bin loadgen -- \
 //!     --threads 8 --ops 100000 --backend sharded_map_8 \
 //!     --read-frac 0.9 --theta 0.99 --keys 65536 \
-//!     [--batch 8] [--workers 8] [--replicas 2] [--json out.jsonl]
+//!     [--batch 8] [--workers 8] [--replicas 2] [--json out.jsonl] \
+//!     [--log-dir /var/tmp/pathcopy-log]
 //! ```
 //!
 //! `--batch n` groups updates into n-op `Batch` frames (the sharded
@@ -23,16 +24,28 @@
 //! worker thread), updates to the primary — the read scale-out topology
 //! the paper's O(changes) diffs make cheap. The final report includes
 //! per-replica applied epochs and diff/full transfer bytes.
+//!
+//! `--log-dir <path>` makes the primary durable: every published epoch
+//! is appended to a `pathcopy-durable` segmented log in that directory
+//! (diff records between periodic checkpoints) before the publish
+//! returns, and the final report prints the log's head, retained epoch
+//! range, size, and fsync/IO counters. Reopening the same directory on
+//! a later run recovers the head state and continues the epoch
+//! sequence. Combine with `--replicas` to exercise the full
+//! primary → log → replica pipeline under load.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use pathcopy_bench::cli::Args;
 use pathcopy_bench::table::{group_thousands, Series};
 use pathcopy_concurrent::BatchOp;
+use pathcopy_durable::{EpochLog, FeedPersister, LogConfig};
 use pathcopy_replica::cluster;
-use pathcopy_server::{backend, Client, ServerConfig};
+use pathcopy_server::{backend, Client, FeedSink, ServerConfig};
 use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
 
 fn main() {
@@ -54,6 +67,7 @@ fn main() {
     let seed: u64 = args.get_or("seed", 42);
     let publish_ms: u64 = args.get_or("publish-ms", 2);
     let json: Option<String> = args.get("json").map(String::from);
+    let log_dir: Option<String> = args.get("log-dir").map(String::from);
 
     assert!(threads >= 1, "--threads must be at least 1");
     assert!(batch >= 1, "--batch must be at least 1");
@@ -64,8 +78,26 @@ fn main() {
         std::process::exit(2);
     };
 
-    let server = pathcopy_server::spawn(engine, ServerConfig::with_workers(workers))
-        .expect("bind ephemeral loopback port");
+    // --log-dir: persist every published epoch through the feed sink,
+    // continuing the epoch sequence a previous run left in the log.
+    let mut config = ServerConfig::with_workers(workers);
+    let mut durable: Option<(Arc<EpochLog>, Arc<FeedPersister>)> = None;
+    if let Some(dir) = &log_dir {
+        let (log, recovered) =
+            EpochLog::open(dir, LogConfig::default()).expect("open --log-dir epoch log");
+        if recovered.head > 0 {
+            println!(
+                "durable log: recovered head epoch {} ({} segment(s), {} byte(s) of torn tail truncated)",
+                recovered.head, recovered.segments, recovered.truncated_bytes
+            );
+        }
+        let log = Arc::new(log);
+        let persister = FeedPersister::new(Arc::clone(&log));
+        config.feed_start = log.head() + 1;
+        config.feed_sink = Some(Arc::clone(&persister) as Arc<dyn FeedSink>);
+        durable = Some((log, persister));
+    }
+    let server = pathcopy_server::spawn(engine, config).expect("bind ephemeral loopback port");
     let addr = server.addr();
 
     // Prefill through the wire in large batches, so measured traffic
@@ -113,9 +145,12 @@ fn main() {
     let mut synced_nodes = Vec::new();
 
     std::thread::scope(|scope| {
-        // Background replication machinery (only with --replicas).
+        // Background replication machinery. The publisher also runs for
+        // a durable-but-replica-less primary (--log-dir alone): the log
+        // persists *published* epochs, so without publishes it would
+        // record nothing.
         let mut sync_handles = Vec::new();
-        if replicas > 0 {
+        if replicas > 0 || log_dir.is_some() {
             let stop_ref = &stop;
             scope.spawn(move || {
                 let mut publisher = Client::connect(addr).expect("publisher connect");
@@ -124,6 +159,8 @@ fn main() {
                     std::thread::sleep(Duration::from_millis(publish_ms));
                 }
             });
+        }
+        if replicas > 0 {
             for node in nodes {
                 let stop_ref = &stop;
                 sync_handles.push(scope.spawn(move || {
@@ -287,6 +324,24 @@ fn main() {
             s.full_bytes,
             s.ring_fallbacks,
         );
+    }
+
+    if let Some((log, persister)) = &durable {
+        let io = log.io_stats();
+        let (oldest, head) = log.retained().unwrap_or((0, 0));
+        println!(
+            "durable log: head={head} retained={oldest}..={head} segments={} bytes={} \
+             appends={} fsyncs={} bytes_written={} append_errors={}",
+            log.segment_count(),
+            log.total_bytes(),
+            io.appends,
+            io.fsyncs,
+            io.bytes_written,
+            persister.error_count(),
+        );
+        if let Some(e) = persister.take_error() {
+            eprintln!("durable log: last append error: {e}");
+        }
     }
 
     if let Some(path) = json {

@@ -73,6 +73,8 @@ pub struct ReplicaStats {
     diff_bytes: AtomicU64,
     full_bytes: AtomicU64,
     ring_fallbacks: AtomicU64,
+    log_seeds: AtomicU64,
+    log_seed_entries: AtomicU64,
 }
 
 impl ReplicaStats {
@@ -88,6 +90,8 @@ impl ReplicaStats {
             diff_bytes: self.diff_bytes.load(Relaxed),
             full_bytes: self.full_bytes.load(Relaxed),
             ring_fallbacks: self.ring_fallbacks.load(Relaxed),
+            log_seeds: self.log_seeds.load(Relaxed),
+            log_seed_entries: self.log_seed_entries.load(Relaxed),
         }
     }
 }
@@ -115,6 +119,11 @@ pub struct ReplicaStatsSnapshot {
     /// Times the replica found its epoch retired from the feed ring and
     /// had to fall back to a full sync.
     pub ring_fallbacks: u64,
+    /// Bootstraps performed from a durable epoch log instead of the
+    /// wire ([`Replica::seed_from_log`] — zero `FullSync` bytes).
+    pub log_seeds: u64,
+    /// Entries materialized by log-seeded bootstraps.
+    pub log_seed_entries: u64,
 }
 
 impl ReplicaStatsSnapshot {
@@ -141,6 +150,11 @@ impl Replica {
     ///
     /// The store starts unsynced: call [`sync_once`](Self::sync_once)
     /// (the first call bootstraps with a full sync).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from establishing the TCP connection to the
+    /// primary.
     pub fn connect<A: ToSocketAddrs>(addr: A, store: Box<dyn ServeBackend>) -> io::Result<Self> {
         Ok(Replica {
             client: Client::connect(addr)?,
@@ -160,6 +174,11 @@ impl Replica {
     /// [`ServeBackend`] surface the primary serves), so load generators
     /// and clients can point read traffic at this replica while
     /// [`sync_once`](Self::sync_once) keeps catching it up.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the replica's listener (see
+    /// [`pathcopy_server::spawn`]).
     pub fn serve(&self, config: ServerConfig) -> io::Result<ServerHandle> {
         pathcopy_server::spawn(Box::new(self.store()), config)
     }
@@ -181,8 +200,54 @@ impl Replica {
         Arc::clone(&self.stats)
     }
 
+    /// Bootstraps the local store from a durable epoch log instead of a
+    /// `FullSync` over the wire: replays the log's newest checkpoint
+    /// plus its diff tail into the store (each epoch applied as one
+    /// atomic batch) and adopts the log's head as the applied epoch —
+    /// **zero wire bytes moved**. If the head is still retained in the
+    /// primary's feed ring, the next [`sync_once`](Self::sync_once)
+    /// continues straight down the cheap diff path; if the log was
+    /// empty (`Ok(0)`), the replica stays unsynced and the next sync
+    /// bootstraps over the wire as usual.
+    ///
+    /// Seeding replicas from a log file (shipped, or on shared storage)
+    /// keeps a fleet bootstrap from hammering the primary with `O(n)`
+    /// full transfers.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the replica has already synced or its store is
+    /// non-empty (seeding assumes a fresh store); otherwise the
+    /// underlying [`LogError`](pathcopy_durable::LogError) wrapped as
+    /// an IO error.
+    pub fn seed_from_log(&mut self, log: &pathcopy_durable::EpochLog) -> io::Result<Epoch> {
+        if self.applied_epoch() != 0 || !self.store.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "log seeding requires a fresh, never-synced replica store",
+            ));
+        }
+        let head = log
+            .replay_into(self.store.as_ref())
+            .map_err(io::Error::other)?;
+        if head == 0 {
+            return Ok(0); // empty log: nothing to adopt
+        }
+        self.stats.applied_epoch.store(head, Relaxed);
+        self.stats.head_seen.fetch_max(head, Relaxed);
+        self.stats.log_seeds.fetch_add(1, Relaxed);
+        self.stats
+            .log_seed_entries
+            .fetch_add(self.store.len() as u64, Relaxed);
+        Ok(head)
+    }
+
     /// Asks the primary how far ahead its feed head is and records it;
     /// returns the current lag in epochs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the `Subscribe` round trip.
     pub fn probe_lag(&mut self) -> Result<u64, ClientError> {
         let info = self.client.feed_info()?;
         self.stats.head_seen.fetch_max(info.head, Relaxed);
@@ -192,6 +257,12 @@ impl Replica {
     /// One catch-up step: incremental diff when possible, full sync when
     /// bootstrapping or after lagging past the primary's feed ring.
     /// Idempotent at the head (returns `Diff { changes: 0 }`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the wire. `EpochRetired`/`TooLarge`
+    /// server errors are handled internally (they trigger the full-sync
+    /// fallback) and are not returned.
     pub fn sync_once(&mut self) -> Result<SyncOutcome, ClientError> {
         let applied = self.applied_epoch();
         if applied == 0 {
@@ -234,6 +305,11 @@ impl Replica {
     /// If the pinned epoch is retired mid-transfer (a tiny feed ring
     /// under publish churn), the transfer restarts from a fresh pin, up
     /// to a bounded number of attempts.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the wire, including the last retirement
+    /// error if every restart attempt lost its pinned epoch.
     pub fn full_resync(&mut self) -> Result<SyncOutcome, ClientError> {
         const MAX_RESTARTS: usize = 8;
         let before = self.client.wire_bytes();
@@ -343,6 +419,13 @@ pub struct ReplicaNode {
 /// connections you will point at each replica — a live connection pins a
 /// worker for its lifetime, so an undersized pool serializes the excess
 /// readers behind the early ones.
+///
+/// # Errors
+///
+/// `InvalidInput` for an unknown backend name; otherwise any IO error
+/// from connecting, bootstrapping (wrapped [`ClientError`]s), or
+/// binding a replica's listener. Replicas already stood up when an
+/// error occurs are dropped (their servers shut down).
 pub fn cluster(
     addr: SocketAddr,
     n: usize,

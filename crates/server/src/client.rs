@@ -116,6 +116,11 @@ pub struct Client {
 impl Client {
     /// Connects (with `TCP_NODELAY`, since the protocol is small framed
     /// request/response round trips).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from resolving `addr`, establishing the TCP
+    /// connection, or configuring the socket.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -144,6 +149,17 @@ impl Client {
     }
 
     /// One request/response round trip, surfacing server-side errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the transport fails,
+    /// [`ClientError::Proto`] if the reply frame cannot be decoded, and
+    /// [`ClientError::Server`] if the server answers with an error
+    /// frame. Every typed wrapper below goes through this method and
+    /// inherits these failure modes; wrappers additionally return
+    /// [`ClientError::Unexpected`] if the reply kind does not match the
+    /// request (a protocol bug, not a runtime condition), and their
+    /// docs note which [`WireError`]s the server sends on that request.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_request(&mut self.writer, req)?;
         self.writer.flush()?;
@@ -154,6 +170,10 @@ impl Client {
     }
 
     /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn get(&mut self, key: i64) -> Result<Option<i64>, ClientError> {
         match self.call(&Request::Get { key })? {
             Response::Got(v) => Ok(v),
@@ -162,6 +182,10 @@ impl Client {
     }
 
     /// Inserts `key -> value`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn insert(&mut self, key: i64, value: i64) -> Result<Option<i64>, ClientError> {
         match self.call(&Request::Insert { key, value })? {
             Response::Inserted(v) => Ok(v),
@@ -170,6 +194,10 @@ impl Client {
     }
 
     /// Removes `key`, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn remove(&mut self, key: i64) -> Result<Option<i64>, ClientError> {
         match self.call(&Request::Remove { key })? {
             Response::Removed(v) => Ok(v),
@@ -179,6 +207,11 @@ impl Client {
 
     /// Atomic compare-and-set; `Ok(true)` if the guard matched and the
     /// write was applied.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes (a non-matching
+    /// guard is `Ok(false)`, not an error).
     pub fn cas(
         &mut self,
         key: i64,
@@ -195,6 +228,12 @@ impl Client {
     /// [`BatchOp`]s `ShardedTreapMap::transact` takes, with the same
     /// all-or-nothing guarantee when the served backend supports atomic
     /// batches.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes, including
+    /// [`WireError::TooLarge`] if the reply would exceed the frame cap
+    /// (split the batch).
     pub fn batch(
         &mut self,
         ops: &[BatchOp<i64, i64>],
@@ -214,6 +253,11 @@ impl Client {
     /// is transport/server failure; the inner one is the transaction
     /// outcome — `Err` carries the failed guard indices (into `ops`,
     /// ascending).
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes; an aborted batch
+    /// is the `Ok(Err(_))` value, not a [`ClientError`].
     #[allow(clippy::type_complexity)]
     pub fn batch_guarded(
         &mut self,
@@ -231,6 +275,10 @@ impl Client {
 
     /// Publishes the primary's current state as the next feed epoch
     /// (the version replicas will sync to) and returns that epoch.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn publish(&mut self) -> Result<Epoch, ClientError> {
         match self.call(&Request::Publish)? {
             Response::Published(epoch) => Ok(epoch),
@@ -240,6 +288,10 @@ impl Client {
 
     /// Reads the feed's bounds: head epoch, oldest retained epoch, ring
     /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn feed_info(&mut self) -> Result<FeedInfo, ClientError> {
         match self.call(&Request::Subscribe)? {
             Response::FeedInfo(info) => Ok(info),
@@ -251,6 +303,13 @@ impl Client {
     /// the feed head: `(head_epoch, changes)`. Fails with
     /// [`WireError::EpochRetired`] when `from` fell out of the feed ring
     /// (lagged too far — fall back to [`full_sync_page`](Self::full_sync_page)).
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes;
+    /// [`WireError::EpochRetired`] as above, and
+    /// [`WireError::TooLarge`] if the accumulated diff cannot fit one
+    /// frame (sync more often, or full-sync).
     pub fn pull_diff(
         &mut self,
         from: Epoch,
@@ -265,6 +324,12 @@ impl Client {
     /// Start with `epoch: None` (the server pins a fresh epoch), then
     /// pass the returned epoch and the last key of each page until
     /// `done`. `limit = 0` asks for the server's largest page.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes;
+    /// [`WireError::EpochRetired`] if the epoch being paged fell out of
+    /// the feed ring mid-sync (restart with `epoch: None`).
     #[allow(clippy::type_complexity)]
     pub fn full_sync_page(
         &mut self,
@@ -289,6 +354,11 @@ impl Client {
     /// Pins a coherent snapshot in the server's version table and
     /// returns its id (readable from any connection until
     /// [`release`](Self::release)d).
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes;
+    /// [`WireError::SnapshotLimit`] if the version table is full.
     pub fn snapshot(&mut self) -> Result<SnapshotId, ClientError> {
         match self.call(&Request::Snapshot)? {
             Response::SnapshotTaken(id) => Ok(id),
@@ -300,6 +370,13 @@ impl Client {
     /// fresh coherent snapshot (`None`). At most `limit` entries come
     /// back (`0` = unlimited); the second component is `false` when the
     /// scan was truncated.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes;
+    /// [`WireError::UnknownSnapshot`] for a released or never-issued
+    /// id, [`WireError::TooLarge`] if an unlimited scan cannot fit one
+    /// frame (page with `limit`).
     pub fn range<R: RangeBounds<i64>>(
         &mut self,
         snapshot: Option<SnapshotId>,
@@ -320,6 +397,14 @@ impl Client {
 
     /// What changed between the pinned snapshot `from` and `to`
     /// (`None` = a fresh snapshot taken now), in ascending key order.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes;
+    /// [`WireError::UnknownSnapshot`],
+    /// [`WireError::SnapshotMismatch`] for snapshots from incompatible
+    /// backends, [`WireError::TooLarge`] for a diff that cannot fit one
+    /// frame (diff nearer snapshots).
     pub fn diff(
         &mut self,
         from: SnapshotId,
@@ -332,6 +417,10 @@ impl Client {
     }
 
     /// Drops a pinned snapshot; `Ok(true)` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn release(&mut self, snapshot: SnapshotId) -> Result<bool, ClientError> {
         match self.call(&Request::Release { snapshot })? {
             Response::Released(existed) => Ok(existed),
@@ -341,6 +430,10 @@ impl Client {
 
     /// Reads the backend's operation statistics and the server's
     /// version-table size.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),

@@ -25,27 +25,79 @@ use parking_lot::Mutex;
 use crate::backend::ServeSnapshot;
 use crate::proto::{Epoch, FeedInfo};
 
+/// An observer of epoch publication, called by [`VersionFeed::publish`]
+/// for every new epoch — the primary's durability hook.
+///
+/// The sink runs **under the feed lock**, after the epoch is assigned
+/// and inserted but before `publish` returns. That gives two guarantees
+/// a write-ahead log needs and cannot reconstruct afterwards:
+///
+/// * **ordering** — sinks observe epochs in exactly the order they were
+///   assigned, with no gaps and no interleaving;
+/// * **adjacency** — `prev` is the snapshot of epoch `epoch - 1` even if
+///   it has already been retired from the ring by the time the sink
+///   looks (capacity-1 feeds retire the previous epoch immediately).
+///
+/// The price is that sink IO (an append + fsync, for
+/// `pathcopy-durable`'s persister) serializes publishes. Publishes are
+/// rare control-plane events next to reads/writes, so this is the right
+/// trade; a sink must still never block indefinitely.
+///
+/// A sink has no way to reject an epoch: publication is already visible
+/// to pullers. Persisters record failures on the side (see
+/// `FeedPersister::take_error` in `pathcopy-durable`) rather than
+/// panicking in a server worker.
+pub trait FeedSink: Send + Sync + 'static {
+    /// Called once per published epoch. `prev` is the previous epoch's
+    /// snapshot (`None` for the first epoch this feed ever assigned), so
+    /// a sink can compute `prev.diff(snap)` — the same pruned diff
+    /// `PullDiff` would serve.
+    fn on_publish(
+        &self,
+        epoch: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        snap: &Arc<dyn ServeSnapshot>,
+    );
+}
+
 /// A capped, monotone ring of published snapshots; see the module docs.
 pub struct VersionFeed {
     state: Mutex<FeedState>,
     capacity: usize,
+    sink: Option<Arc<dyn FeedSink>>,
 }
 
 struct FeedState {
     /// `(epoch, snapshot)` pairs in ascending epoch order.
     ring: VecDeque<(Epoch, Arc<dyn ServeSnapshot>)>,
     next: Epoch,
+    /// The snapshot of epoch `next - 1`, kept one beat past its ring
+    /// retirement so the sink always sees a correct `prev`.
+    prev: Option<Arc<dyn ServeSnapshot>>,
 }
 
 impl VersionFeed {
     /// An empty feed retaining at most `capacity` epochs (min 1).
     pub fn new(capacity: usize) -> Self {
+        Self::configured(capacity, 1, None)
+    }
+
+    /// An empty feed whose first published epoch will be `start`
+    /// (min 1) and whose publishes are mirrored to `sink`, if any.
+    ///
+    /// A primary recovered from a durable log must continue the epoch
+    /// sequence where the log's head left off (`start = head + 1`), or
+    /// replicas and the log itself would see epoch numbers reused for
+    /// different states.
+    pub fn configured(capacity: usize, start: Epoch, sink: Option<Arc<dyn FeedSink>>) -> Self {
         VersionFeed {
             state: Mutex::new(FeedState {
                 ring: VecDeque::new(),
-                next: 1,
+                next: start.max(1),
+                prev: None,
             }),
             capacity: capacity.max(1),
+            sink,
         }
     }
 
@@ -56,13 +108,20 @@ impl VersionFeed {
 
     /// Publishes `snap` as the next epoch, retiring the oldest retained
     /// epoch if the ring is full. Returns the new epoch.
+    ///
+    /// If the feed has a [`FeedSink`], it observes the epoch before
+    /// `publish` returns (see the trait docs for the ordering contract).
     pub fn publish(&self, snap: Arc<dyn ServeSnapshot>) -> Epoch {
         let mut state = self.state.lock();
         let epoch = state.next;
         state.next += 1;
-        state.ring.push_back((epoch, snap));
+        state.ring.push_back((epoch, Arc::clone(&snap)));
         while state.ring.len() > self.capacity {
             state.ring.pop_front();
+        }
+        let prev = state.prev.replace(Arc::clone(&snap));
+        if let Some(sink) = &self.sink {
+            sink.on_publish(epoch, prev.as_ref(), &snap);
         }
         epoch
     }
@@ -126,6 +185,35 @@ mod tests {
         assert!(feed.get(2).is_none());
         assert_eq!(feed.get(3).expect("retained").len(), 3);
         assert_eq!(feed.head().expect("head").0, 5);
+    }
+
+    #[test]
+    fn sink_sees_every_epoch_in_order_with_adjacent_prev() {
+        struct Recorder(Mutex<Vec<(Epoch, Option<usize>, usize)>>);
+        impl FeedSink for Recorder {
+            fn on_publish(
+                &self,
+                epoch: Epoch,
+                prev: Option<&Arc<dyn ServeSnapshot>>,
+                snap: &Arc<dyn ServeSnapshot>,
+            ) {
+                self.0
+                    .lock()
+                    .push((epoch, prev.map(|p| p.len()), snap.len()));
+            }
+        }
+        let recorder = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let b = ShardedServe::with_shards(2);
+        // Capacity 1: the ring retires `prev` immediately, yet the sink
+        // must still see it. Start at epoch 7 (a recovered primary).
+        let feed = VersionFeed::configured(1, 7, Some(Arc::clone(&recorder) as Arc<dyn FeedSink>));
+        for k in 0..3i64 {
+            b.insert(k, k);
+            assert_eq!(feed.publish(snap_of(&b)), 7 + k as u64);
+        }
+        let seen = recorder.0.lock().clone();
+        assert_eq!(seen, vec![(7, None, 1), (8, Some(1), 2), (9, Some(2), 3)]);
+        assert_eq!(feed.info().oldest, 9, "capacity 1 keeps only the head");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod server;
 
 pub use backend::{ServeBackend, ServeSnapshot};
 pub use client::{Client, ClientError};
-pub use feed::VersionFeed;
+pub use feed::{FeedSink, VersionFeed};
 pub use proto::{
     Epoch, FeedInfo, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
     MAX_FRAME_LEN, PROTO_VERSION,

@@ -713,6 +713,12 @@ impl Request {
     /// Parses a frame body produced by [`encode`](Self::encode),
     /// rejecting bad versions, unknown tags, truncation, and trailing
     /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadVersion`], [`ProtoError::BadTag`],
+    /// [`ProtoError::Truncated`], or [`ProtoError::TrailingBytes`] —
+    /// never a panic, whatever the input bytes.
     pub fn decode(body: &[u8]) -> Result<Self, ProtoError> {
         let mut cur = Cur::new(body);
         let version = cur.u8()?;
@@ -908,6 +914,10 @@ impl Response {
 
     /// Parses a frame body produced by [`encode`](Self::encode), with the
     /// same strictness as [`Request::decode`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
     pub fn decode(body: &[u8]) -> Result<Self, ProtoError> {
         let mut cur = Cur::new(body);
         let version = cur.u8()?;
@@ -1070,6 +1080,10 @@ fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
 }
 
 /// Writes one request frame (the caller flushes buffered writers).
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the underlying writer.
 pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
     let mut body = Vec::with_capacity(32);
     req.encode(&mut body);
@@ -1077,6 +1091,13 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
 }
 
 /// Reads one request frame; `Ok(None)` on clean connection close.
+///
+/// # Errors
+///
+/// [`ProtoError::Io`] from the transport,
+/// [`ProtoError::FrameTooLarge`] for an oversized length prefix,
+/// [`ProtoError::Truncated`] for a connection cut mid-frame, and any
+/// [`Request::decode`] error for a malformed body.
 pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, ProtoError> {
     match read_frame(r)? {
         None => Ok(None),
@@ -1085,6 +1106,10 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, ProtoError> {
 }
 
 /// Writes one response frame (the caller flushes buffered writers).
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the underlying writer.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
     let mut body = Vec::with_capacity(64);
     resp.encode(&mut body);
@@ -1093,6 +1118,12 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
 
 /// Reads one response frame. A close mid-conversation is an error — the
 /// client was owed a reply.
+///
+/// # Errors
+///
+/// As [`read_request`], plus [`ProtoError::Io`] with
+/// [`io::ErrorKind::UnexpectedEof`] if the connection closes where a
+/// reply was due.
 pub fn read_response<R: Read>(r: &mut R) -> Result<Response, ProtoError> {
     match read_frame(r)? {
         None => Err(ProtoError::Io(io::Error::new(

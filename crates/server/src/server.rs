@@ -32,15 +32,15 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use crate::backend::{ServeBackend, ServeSnapshot};
-use crate::feed::VersionFeed;
+use crate::feed::{FeedSink, VersionFeed};
 use crate::pool::ThreadPool;
 use crate::proto::{
-    read_request, write_response, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
-    MAX_FRAME_LEN, SYNC_PAGE_MAX_ENTRIES,
+    read_request, write_response, Epoch, ProtoError, Request, Response, SnapshotId, WireError,
+    WireStats, MAX_FRAME_LEN, SYNC_PAGE_MAX_ENTRIES,
 };
 
 /// Tunables for [`spawn`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Address to bind; the default is an ephemeral loopback port
     /// (`127.0.0.1:0`), read back via [`ServerHandle::addr`].
@@ -61,6 +61,31 @@ pub struct ServerConfig {
     /// [`Request::FullSync`], so this bounds how far a replica may lag
     /// while still catching up with cheap diffs.
     pub feed_capacity: usize,
+    /// First epoch the feed will assign (min 1; the default). A primary
+    /// recovered from a durable log passes `log head + 1` so epoch
+    /// numbers are never reused for different states.
+    pub feed_start: Epoch,
+    /// Optional observer of every published epoch, called under the
+    /// feed lock ([`FeedSink`]) — the attachment point for
+    /// `pathcopy-durable`'s `FeedPersister`. `None` (the default) keeps
+    /// the feed purely in memory.
+    pub feed_sink: Option<Arc<dyn FeedSink>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("max_snapshots", &self.max_snapshots)
+            .field("feed_capacity", &self.feed_capacity)
+            .field("feed_start", &self.feed_start)
+            .field(
+                "feed_sink",
+                &self.feed_sink.as_ref().map(|_| "dyn FeedSink"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -70,6 +95,8 @@ impl Default for ServerConfig {
             workers: 4,
             max_snapshots: 1024,
             feed_capacity: 64,
+            feed_start: 1,
+            feed_sink: None,
         }
     }
 }
@@ -116,6 +143,11 @@ pub struct ServerHandle {
 
 /// Binds `config.addr` and serves `backend` until the handle is dropped.
 ///
+/// # Errors
+///
+/// Any [`io::Error`] from binding the listener or spawning the accept
+/// thread (e.g. the address is in use or privileged).
+///
 /// # Examples
 ///
 /// ```
@@ -139,7 +171,7 @@ pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result
         snapshots: Mutex::new(HashMap::new()),
         next_snapshot: AtomicU64::new(0),
         max_snapshots: config.max_snapshots,
-        feed: VersionFeed::new(config.feed_capacity),
+        feed: VersionFeed::configured(config.feed_capacity, config.feed_start, config.feed_sink),
         conns: Mutex::new(HashMap::new()),
         next_conn: AtomicU64::new(0),
         requests: AtomicU64::new(0),

@@ -1,0 +1,191 @@
+//! Keeps `docs/WIRE_PROTOCOL.md` honest: every tag number, constant,
+//! and error sub-tag the document states is re-derived here from the
+//! actual encoder, so the prose cannot silently drift from the code.
+//!
+//! The checks are deliberately structural (encode a sample message,
+//! read the tag byte out of the frame, require the doc's table to pair
+//! that number with that variant name) rather than golden-text — the
+//! doc can be reworded freely as long as the facts stay right.
+
+use std::ops::Bound;
+
+use pathcopy_server::proto::{
+    FeedInfo, Request, Response, WireError, WireStats, MAX_FRAME_LEN, PROTO_VERSION,
+    SYNC_PAGE_MAX_ENTRIES,
+};
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/WIRE_PROTOCOL.md");
+    std::fs::read_to_string(path).expect("docs/WIRE_PROTOCOL.md exists")
+}
+
+/// `65536` → `"65 536"`, the doc's thousands style.
+fn spaced(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// The tag byte of an encoded body (`[version][tag]...`).
+fn tag_of(body: &[u8]) -> u8 {
+    assert_eq!(body[0], PROTO_VERSION, "version byte leads every body");
+    body[1]
+}
+
+#[test]
+fn constants_quoted_in_the_doc_match_the_code() {
+    let doc = doc();
+    assert!(
+        doc.contains(&format!("`PROTO_VERSION = {PROTO_VERSION}`")),
+        "doc must quote the current protocol version"
+    );
+    assert_eq!(MAX_FRAME_LEN, 16 << 20, "doc states the cap as 16 MiB");
+    assert!(
+        doc.contains("`MAX_FRAME_LEN = 16 MiB`"),
+        "doc must quote the frame cap"
+    );
+    assert!(
+        doc.contains(&format!(
+            "`SYNC_PAGE_MAX_ENTRIES = {}`",
+            spaced(SYNC_PAGE_MAX_ENTRIES as u64)
+        )),
+        "doc must quote the sync page cap"
+    );
+}
+
+#[test]
+fn request_tag_table_matches_the_encoder() {
+    let doc = doc();
+    let samples: Vec<(&str, Request)> = vec![
+        ("Get", Request::Get { key: 0 }),
+        ("Insert", Request::Insert { key: 0, value: 0 }),
+        ("Remove", Request::Remove { key: 0 }),
+        (
+            "Cas",
+            Request::Cas {
+                key: 0,
+                expected: None,
+                new: None,
+            },
+        ),
+        (
+            "Batch",
+            Request::Batch {
+                ops: vec![],
+                guarded: false,
+            },
+        ),
+        ("Snapshot", Request::Snapshot),
+        (
+            "Range",
+            Request::Range {
+                snapshot: None,
+                lo: Bound::Unbounded,
+                hi: Bound::Unbounded,
+                limit: 0,
+            },
+        ),
+        ("Diff", Request::Diff { from: 0, to: None }),
+        ("Release", Request::Release { snapshot: 0 }),
+        ("Stats", Request::Stats),
+        ("Publish", Request::Publish),
+        ("Subscribe", Request::Subscribe),
+        ("PullDiff", Request::PullDiff { from: 0 }),
+        (
+            "FullSync",
+            Request::FullSync {
+                epoch: None,
+                after: None,
+                limit: 0,
+            },
+        ),
+    ];
+    for (name, req) in samples {
+        let mut body = Vec::new();
+        req.encode(&mut body);
+        let row = format!("| {} | `{name}` |", tag_of(&body));
+        assert!(doc.contains(&row), "request table must contain `{row}`");
+    }
+}
+
+#[test]
+fn response_tag_table_matches_the_encoder() {
+    let doc = doc();
+    let samples: Vec<(&str, Response)> = vec![
+        ("Got", Response::Got(None)),
+        ("Inserted", Response::Inserted(None)),
+        ("Removed", Response::Removed(None)),
+        ("CasApplied", Response::CasApplied(false)),
+        ("Batch", Response::Batch(vec![])),
+        ("SnapshotTaken", Response::SnapshotTaken(0)),
+        (
+            "Entries",
+            Response::Entries {
+                entries: vec![],
+                complete: true,
+            },
+        ),
+        ("Diff", Response::Diff(vec![])),
+        ("Released", Response::Released(false)),
+        ("Stats", Response::Stats(WireStats::default())),
+        ("Error", Response::Error(WireError::Malformed)),
+        ("BatchAborted", Response::BatchAborted(vec![])),
+        ("Published", Response::Published(0)),
+        ("FeedInfo", Response::FeedInfo(FeedInfo::default())),
+        (
+            "EpochDiff",
+            Response::EpochDiff {
+                to: 0,
+                entries: vec![],
+            },
+        ),
+        (
+            "SyncPage",
+            Response::SyncPage {
+                epoch: 0,
+                entries: vec![],
+                done: true,
+            },
+        ),
+    ];
+    for (name, resp) in samples {
+        let mut body = Vec::new();
+        resp.encode(&mut body);
+        let row = format!("| {} | `{name}` |", tag_of(&body));
+        assert!(doc.contains(&row), "response table must contain `{row}`");
+    }
+}
+
+#[test]
+fn error_subtag_table_matches_the_encoder() {
+    let doc = doc();
+    let samples: Vec<(&str, WireError)> = vec![
+        ("UnknownSnapshot", WireError::UnknownSnapshot(0)),
+        ("SnapshotMismatch", WireError::SnapshotMismatch),
+        ("Malformed", WireError::Malformed),
+        ("TooLarge", WireError::TooLarge),
+        ("SnapshotLimit", WireError::SnapshotLimit(0)),
+        ("EpochRetired", WireError::EpochRetired(0)),
+    ];
+    for (name, err) in samples {
+        let mut body = Vec::new();
+        Response::Error(err).encode(&mut body);
+        // [version][tag 11][sub-tag]...
+        let row = format!("| {} | `{name}` |", body[2]);
+        assert!(doc.contains(&row), "error table must contain `{row}`");
+    }
+}
+
+#[test]
+fn log_record_section_matches_the_durable_envelope() {
+    let doc = doc();
+    // The envelope the doc describes: [body_len u32][crc32 u32][body].
+    assert!(doc.contains("[body_len: u32 LE] [crc32: u32 LE]"));
+    assert!(doc.contains("0xEDB88320"), "doc names the CRC polynomial");
+}

@@ -28,6 +28,10 @@
 //!   bootstrap from a chunked full sync, then follow the primary's
 //!   version feed with pruned diffs; plus the `loadgen` traffic
 //!   generator (`--replicas N` for the read scale-out topology).
+//! * [`pathcopy_durable`] — durability for the feed: a segmented,
+//!   checksummed epoch log (checkpoints + diff records in the wire
+//!   encoding), crash recovery with torn-tail truncation,
+//!   point-in-time restore, and log-seeded replica bootstrap.
 //!
 //! ## Choosing a backend
 //!
@@ -286,6 +290,72 @@
 //! ever see frozen versions); `cargo bench --bench replica_sync`
 //! (diff-sync vs full-sync transfer bytes as write locality varies).
 //!
+//! ## Durability: the epoch log
+//!
+//! The feed's pruned diffs are also the natural unit of *persistence*:
+//! [`pathcopy_durable`] appends each published epoch to a segmented,
+//! CRC-checksummed log — a full checkpoint every `checkpoint_every`
+//! epochs, a small diff record otherwise, both in the wire encoding,
+//! so disk and network speak the same bytes. Hook a
+//! [`FeedPersister`](pathcopy_durable::FeedPersister) into the server
+//! via [`ServerConfig`](pathcopy_server::ServerConfig)'s `feed_sink`
+//! and every `publish` is durable before its reply; reopen the log
+//! after a crash and the torn tail (if any) is truncated, the head
+//! state replays, and the epoch sequence continues where it stopped:
+//!
+//! ```
+//! use pathcopy_durable::{EpochLog, LogConfig};
+//! use pathcopy_server::backend::{ServeBackend, ShardedServe};
+//! use path_copying::prelude::DiffEntry;
+//!
+//! let dir = std::env::temp_dir().join(format!("pc-facade-log-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let (log, recovered) = EpochLog::open(&dir, LogConfig::default()).unwrap();
+//! assert_eq!(recovered.head, 0);
+//!
+//! // Epoch 1 checkpoints the state; epoch 2 is just its diff.
+//! let map = ShardedServe::with_shards(4);
+//! map.insert(1, 10);
+//! log.append_checkpoint(1, map.snapshot().as_ref()).unwrap();
+//! log.append_diff(2, &[DiffEntry::Added(2, 20)]).unwrap();
+//!
+//! // Recovery: replay the head, or restore any retained epoch as it was.
+//! let (state, head) = log.replay().unwrap();
+//! assert_eq!((head, state.get(&2)), (2, Some(20)));
+//! assert_eq!(log.restore_epoch(1).unwrap().get(&2), None);
+//! # drop(log);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! Retention is checkpoint-anchored: old checkpoint+diff chains retire
+//! whole once the log exceeds its byte cap, so
+//! [`restore_epoch`](pathcopy_durable::EpochLog::restore_epoch) offers
+//! point-in-time recovery over a bounded window. A cold replica can
+//! [seed from the log](pathcopy_replica::Replica::seed_from_log) with
+//! **zero** wire bytes and then converge via diffs.
+//!
+//! See it run: `cargo run --release --example durable_demo` (durable
+//! primary, simulated crash with a torn tail, recovery, point-in-time
+//! restore, log-seeded replica); `cargo bench --bench recovery`
+//! (replay/restore cost vs checkpoint cadence); `loadgen --log-dir DIR`
+//! for durability under load.
+//!
+//! ## Further reading
+//!
+//! Three documents cover the system prose-first (links are
+//! repo-relative):
+//!
+//! * [`docs/ARCHITECTURE.md`](../../../docs/ARCHITECTURE.md) — crate
+//!   map, the write → publish → log/replica data flow, and the
+//!   snapshot/epoch lifecycle.
+//! * [`docs/WIRE_PROTOCOL.md`](../../../docs/WIRE_PROTOCOL.md) — every
+//!   frame and tag byte-by-byte, error frames, the guarded-batch abort
+//!   contract, and the durable log's record format (cross-checked
+//!   against the encoder by `crates/server/tests/doc_contract.rs`).
+//! * [`docs/OPERATIONS.md`](../../../docs/OPERATIONS.md) — running a
+//!   durable cluster, failure drills, what healthy counters look like,
+//!   and the CI bench soft-gate.
+//!
 //! ## Building and testing
 //!
 //! The workspace is self-contained — external dependencies are vendored
@@ -302,6 +372,7 @@
 
 pub use pathcopy_concurrent;
 pub use pathcopy_core;
+pub use pathcopy_durable;
 pub use pathcopy_replica;
 pub use pathcopy_server;
 pub use pathcopy_sim;
