@@ -6,13 +6,17 @@
 //! ops over one round trip (mapped onto `transact` on the sharded
 //! backend), and `snapshot_scan` pins a version, pages its first 100
 //! entries, and releases it — the serving pattern the O(1)-snapshot
-//! claim enables.
+//! claim enables. The `get_x8_serial`/`get_x8_pipelined` pair isolates
+//! what the proto-v3 correlation id buys: the same eight lookups issued
+//! one round trip at a time versus submitted as one window of tickets —
+//! the pipelined series pays roughly one round trip of latency for all
+//! eight.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathcopy_concurrent::BatchOp;
-use pathcopy_server::{backend, Client, ServerConfig};
+use pathcopy_server::{backend, Client, Request, Response, ServerConfig};
 
 const PREFILL: i64 = 10_000;
 
@@ -41,6 +45,40 @@ fn bench_server_rtt(c: &mut Criterion) {
             b.iter(|| {
                 key = (key + 1) % PREFILL;
                 client.get(key).expect("get")
+            })
+        });
+
+        let mut key = 0i64;
+        group.bench_function(BenchmarkId::new("get_x8_serial", name), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for _ in 0..8 {
+                    key = (key + 1) % PREFILL;
+                    if client.get(key).expect("get").is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        let mut key = 0i64;
+        group.bench_function(BenchmarkId::new("get_x8_pipelined", name), |b| {
+            let session = client.session();
+            b.iter(|| {
+                let tickets: Vec<_> = (0..8)
+                    .map(|_| {
+                        key = (key + 1) % PREFILL;
+                        session.submit(&Request::Get { key }).expect("submit")
+                    })
+                    .collect();
+                let mut hits = 0usize;
+                for ticket in tickets {
+                    if let Response::Got(Some(_)) = ticket.wait().expect("get") {
+                        hits += 1;
+                    }
+                }
+                hits
             })
         });
 

@@ -17,6 +17,13 @@
 //! (`{"id":...,"median_ns":...,"samples":...,"mode":...}`), so server
 //! throughput joins the same perf-trajectory artifacts as the benches.
 //!
+//! `--pipeline n` keeps up to `n` requests in flight per thread through
+//! the proto-v3 session API (`submit` + windowed `wait`) instead of
+//! strict request/response alternation — per-op latency then includes
+//! time queued in the window. The primary's queue depth is sized to fit
+//! the window; replicas keep the default depth (64), so reads may shed
+//! `Busy` if `--pipeline` exceeds it.
+//!
 //! `--replicas n` stands up the replication subsystem: one primary plus
 //! `n` snapshot-diff replicas, each serving on its own port with a sync
 //! thread pulling epoch diffs while a publisher thread advances the
@@ -45,7 +52,7 @@ use pathcopy_bench::table::{group_thousands, Series};
 use pathcopy_concurrent::BatchOp;
 use pathcopy_durable::{EpochLog, FeedPersister, LogConfig};
 use pathcopy_replica::cluster;
-use pathcopy_server::{backend, Client, FeedSink, ServerConfig};
+use pathcopy_server::{backend, Client, FeedSink, Request, ServerConfig, Ticket};
 use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
 
 fn main() {
@@ -57,12 +64,14 @@ fn main() {
     let theta: f64 = args.get_or("theta", 0.99);
     let keys: u64 = args.get_or("keys", 65_536);
     let batch: usize = args.get_or("batch", 1);
+    let pipeline: usize = args.get_or("pipeline", 1);
     let replicas: usize = args.get_or("replicas", 0);
-    // Each live connection pins a server worker for its lifetime, so the
-    // primary's pool must cover every writer thread plus the replication
-    // tier's standing connections (publisher + one sync client per
-    // replica) — otherwise late connections serialize behind early ones.
-    let workers: usize = args.get_or("workers", threads.max(1) + 1 + replicas);
+    // Connections are multiplexed on the server's event loop, so the
+    // worker count sizes backend execution parallelism only — standing
+    // connections (publisher, replica sync clients, idle sessions) cost
+    // no worker. Cover the driving threads, floored at the event core's
+    // sweet spot for small round trips.
+    let workers: usize = args.get_or("workers", threads.max(4));
     let prefill: u64 = args.get_or("prefill", keys / 2);
     let seed: u64 = args.get_or("seed", 42);
     let publish_ms: u64 = args.get_or("publish-ms", 2);
@@ -71,6 +80,7 @@ fn main() {
 
     assert!(threads >= 1, "--threads must be at least 1");
     assert!(batch >= 1, "--batch must be at least 1");
+    assert!(pipeline >= 1, "--pipeline must be at least 1");
 
     let Some(engine) = backend::by_name(&backend_name) else {
         let names: Vec<&str> = backend::backends().iter().map(|b| b.name).collect();
@@ -80,7 +90,12 @@ fn main() {
 
     // --log-dir: persist every published epoch through the feed sink,
     // continuing the epoch sequence a previous run left in the log.
-    let mut config = ServerConfig::with_workers(workers);
+    // The queue depth must fit the pipeline window or the primary would
+    // shed the tail of every full window as Busy.
+    let mut config = ServerConfig::builder()
+        .workers(workers)
+        .queue_depth(64.max(pipeline + 1))
+        .build();
     let mut durable: Option<(Arc<EpochLog>, Arc<FeedPersister>)> = None;
     if let Some(dir) = &log_dir {
         let (log, recovered) =
@@ -124,8 +139,9 @@ fn main() {
     // The replication tier: bootstrapped replicas serving on their own
     // ports, kept fresh by per-replica sync threads while a publisher
     // advances the primary's feed.
-    // Each replica serves its share of the reader threads; one worker
-    // per standing reader connection (plus slack) keeps reads parallel.
+    // Each replica serves its share of the reader threads; size its
+    // backend workers to that share so reads execute in parallel (the
+    // event loop multiplexes the connections themselves).
     let readers_per_replica = threads.div_ceil(replicas.max(1)) + 1;
     let nodes =
         cluster(addr, replicas, &backend_name, readers_per_replica).expect("stand up replicas");
@@ -201,6 +217,78 @@ fn main() {
                 let mut latencies = Vec::with_capacity(per_thread as usize);
                 let mut ops_run = 0u64;
                 let mut pending: Vec<BatchOp<i64, i64>> = Vec::with_capacity(batch);
+                if pipeline > 1 {
+                    // Windowed mode: keep up to `pipeline` tickets open
+                    // per session; wait only when the window is full.
+                    // Per-op latency spans submit→response, so it
+                    // includes time queued behind the window.
+                    let primary = client.into_session();
+                    let reader = reader.map(Client::into_session);
+                    let mut window: std::collections::VecDeque<(Instant, Ticket, usize)> =
+                        std::collections::VecDeque::with_capacity(pipeline);
+                    let drain_one =
+                        |window: &mut std::collections::VecDeque<(Instant, Ticket, usize)>,
+                         latencies: &mut Vec<u64>| {
+                            let (t0, ticket, n) = window.pop_front().expect("non-empty window");
+                            ticket.wait().expect("pipelined response");
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            // One round trip carried `n` ops.
+                            for _ in 0..n {
+                                latencies.push(ns / n as u64);
+                            }
+                        };
+                    while ops_run < per_thread {
+                        let op = stream.next_op();
+                        let (to_reader, req, n_ops) = if batch > 1 && op.is_update() {
+                            pending.push(match op {
+                                Op::Insert(k) => BatchOp::Insert(k, k),
+                                Op::Remove(k) => BatchOp::Remove(k),
+                                Op::Contains(_) => unreachable!("updates only"),
+                            });
+                            ops_run += 1;
+                            if pending.len() < batch {
+                                continue;
+                            }
+                            let n = pending.len();
+                            let req = Request::Batch {
+                                ops: std::mem::take(&mut pending),
+                                guarded: false,
+                            };
+                            pending.reserve(batch);
+                            (false, req, n)
+                        } else {
+                            ops_run += 1;
+                            match op {
+                                Op::Contains(k) => (reader.is_some(), Request::Get { key: k }, 1),
+                                Op::Insert(k) => (false, Request::Insert { key: k, value: k }, 1),
+                                Op::Remove(k) => (false, Request::Remove { key: k }, 1),
+                            }
+                        };
+                        if window.len() == pipeline {
+                            drain_one(&mut window, &mut latencies);
+                        }
+                        let session = if to_reader {
+                            reader.as_ref().expect("reader session")
+                        } else {
+                            &primary
+                        };
+                        let ticket = session.submit(&req).expect("pipelined submit");
+                        window.push_back((Instant::now(), ticket, n_ops));
+                    }
+                    if !pending.is_empty() {
+                        let n = pending.len();
+                        let req = Request::Batch {
+                            ops: std::mem::take(&mut pending),
+                            guarded: false,
+                        };
+                        let ticket = primary.submit(&req).expect("final batch submit");
+                        window.push_back((Instant::now(), ticket, n));
+                    }
+                    while !window.is_empty() {
+                        drain_one(&mut window, &mut latencies);
+                    }
+                    return (latencies, ops_run);
+                }
                 while ops_run < per_thread {
                     let op = stream.next_op();
                     if batch > 1 && op.is_update() {
@@ -273,7 +361,8 @@ fn main() {
 
     println!(
         "loadgen: backend={backend_name} threads={threads} workers={workers} ops={done_ops} \
-         read_frac={read_frac:.2} zipf(n={keys}, theta={theta}) batch={batch} replicas={replicas}"
+         read_frac={read_frac:.2} zipf(n={keys}, theta={theta}) batch={batch} \
+         pipeline={pipeline} replicas={replicas}"
     );
     let table = Series {
         title: format!(
@@ -347,7 +436,14 @@ fn main() {
     if let Some(path) = json {
         // Same JSON-lines schema as the criterion shim's BENCH_JSON hook,
         // so loadgen results aggregate into the same trend artifacts.
-        let prefix = format!("loadgen/{backend_name}/t{threads}/b{batch}/r{replicas}");
+        // `/p{n}` appears only for pipelined runs so that the default
+        // serial series keeps its historical trend ids.
+        let pipe_seg = if pipeline > 1 {
+            format!("/p{pipeline}")
+        } else {
+            String::new()
+        };
+        let prefix = format!("loadgen/{backend_name}/t{threads}/b{batch}/r{replicas}{pipe_seg}");
         let per_op_ns = elapsed.as_nanos() as f64 / done_ops.max(1) as f64;
         let lines = [
             format!(

@@ -415,10 +415,10 @@ pub struct ReplicaNode {
 /// each backed by a fresh `store_backend`
 /// ([`backend::by_name`](pathcopy_server::backend::by_name) name) and
 /// serving on its own ephemeral loopback port with `workers_per_replica`
-/// connection workers. Size the workers to the standing reader
-/// connections you will point at each replica — a live connection pins a
-/// worker for its lifetime, so an undersized pool serializes the excess
-/// readers behind the early ones.
+/// backend worker threads. Connections are multiplexed on each
+/// replica's event loop, so workers size execution parallelism, not the
+/// number of standing reader connections — a modest pool serves many
+/// idle sessions.
 ///
 /// # Errors
 ///
@@ -444,7 +444,8 @@ pub fn cluster(
             replica
                 .sync_once()
                 .map_err(|e| io::Error::other(format!("bootstrap sync: {e}")))?;
-            let server = replica.serve(ServerConfig::with_workers(workers_per_replica))?;
+            let server =
+                replica.serve(ServerConfig::builder().workers(workers_per_replica).build())?;
             Ok(ReplicaNode { replica, server })
         })
         .collect()

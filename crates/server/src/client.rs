@@ -1,28 +1,43 @@
-//! The blocking client: one reused TCP connection, typed calls.
+//! The pipelined client: one multiplexed TCP session, typed calls.
 //!
-//! [`Client`] opens a single connection and reuses it for every call
-//! (requests and responses alternate strictly, so no multiplexing state
-//! is needed). The API mirrors the engine's: [`Client::batch`] takes the
-//! same [`BatchOp`] values as
+//! [`Session`] owns a single connection and lets any number of requests
+//! be **in flight at once**: [`Session::submit`] stamps the request
+//! with a fresh correlation id, writes the proto-v3 frame, and returns
+//! a [`Ticket`] immediately; a background reader thread demultiplexes
+//! response frames by id and resolves the matching ticket. Responses
+//! may come back in any order — the id, not arrival order, pairs them.
+//!
+//! [`Client`] is the blocking facade over a session: every typed call
+//! is literally `submit + wait`, so serial code pays one round trip per
+//! call exactly as before, while throughput-minded code can hold a
+//! window of tickets open (see `loadgen --pipeline`). The API mirrors
+//! the engine's: [`Client::batch`] takes the same [`BatchOp`] values as
 //! [`ShardedTreapMap::transact`](pathcopy_concurrent::ShardedTreapMap::transact)
 //! and returns the same [`BatchResult`]s, and [`Client::diff`] returns
-//! [`DiffEntry`] — code written against the
-//! in-process map moves to the network client by swapping the receiver.
+//! [`DiffEntry`] — code written against the in-process map moves to the
+//! network client by swapping the receiver.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
+use std::thread;
 
+use parking_lot::Mutex;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::{ByteCounters, ByteCountersSnapshot, DiffEntry};
 
 use crate::proto::{
-    read_response, write_request, Epoch, FeedInfo, ProtoError, Request, Response, SnapshotId,
-    WireError, WireStats,
+    read_response_enveloped, write_request_with_id, Epoch, FeedInfo, ProtoError, Request,
+    RequestId, Response, SnapshotId, WireError, WireStats,
 };
 
-/// Why a client call failed.
+/// Why a client call failed — the single error surface for everything
+/// in this module ([`Session::submit`], [`Ticket::wait`], and every
+/// typed [`Client`] wrapper).
 #[derive(Debug)]
 pub enum ClientError {
     /// The transport failed (connect, write, or read).
@@ -31,6 +46,10 @@ pub enum ClientError {
     Proto(ProtoError),
     /// The server answered with an error.
     Server(WireError),
+    /// The server shed this request because the connection was at its
+    /// queue-depth bound (the payload is that bound). The connection is
+    /// still healthy; back off and resubmit.
+    Busy(u64),
     /// The server answered with a response of the wrong kind for the
     /// request sent (a protocol bug, not an expected runtime condition).
     Unexpected(&'static str),
@@ -42,6 +61,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Busy(depth) => {
+                write!(
+                    f,
+                    "request shed: connection at its queue-depth bound ({depth})"
+                )
+            }
             ClientError::Unexpected(what) => write!(f, "unexpected response kind to {what}"),
         }
     }
@@ -68,6 +93,20 @@ impl From<ProtoError> for ClientError {
         match e {
             ProtoError::Io(e) => ClientError::Io(e),
             other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// Collapses a [`ClientError`] into an [`io::Error`] so call sites
+/// whose signature is `io::Result` (the replica engine, mainly) keep
+/// working with `?`. An [`ClientError::Io`] passes through unchanged;
+/// everything else becomes [`io::ErrorKind::Other`] with the display
+/// text preserved.
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> io::Error {
+        match e {
+            ClientError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
         }
     }
 }
@@ -106,11 +145,279 @@ impl Write for CountingWriter {
     }
 }
 
-/// A blocking connection to a `pathcopy-server`.
-pub struct Client {
-    reader: BufReader<CountingReader>,
-    writer: BufWriter<CountingWriter>,
+/// Why the session can no longer carry requests. [`io::Error`] is not
+/// `Clone`, so the terminal error is stored as `(kind, message)` and a
+/// fresh `io::Error` is minted for every ticket and submit that hits
+/// it.
+#[derive(Clone, Debug)]
+struct SessionDead {
+    kind: io::ErrorKind,
+    msg: String,
+}
+
+impl SessionDead {
+    fn closed() -> SessionDead {
+        SessionDead {
+            kind: io::ErrorKind::UnexpectedEof,
+            msg: "server closed the connection".to_owned(),
+        }
+    }
+
+    fn from_proto(e: &ProtoError) -> SessionDead {
+        match e {
+            ProtoError::Io(e) => SessionDead {
+                kind: e.kind(),
+                msg: e.to_string(),
+            },
+            other => SessionDead {
+                kind: io::ErrorKind::InvalidData,
+                msg: format!("undecodable response frame: {other}"),
+            },
+        }
+    }
+
+    fn to_client_error(&self) -> ClientError {
+        ClientError::Io(io::Error::new(self.kind, self.msg.clone()))
+    }
+}
+
+/// What the reader thread delivers to a waiting ticket.
+type Settled = Result<Response, SessionDead>;
+
+/// State shared between submitters and the reader thread.
+struct SessionShared {
+    /// Serializes frame writes so concurrent submitters never
+    /// interleave bytes.
+    writer: Mutex<BufWriter<CountingWriter>>,
+    /// Tickets awaiting a response, keyed by correlation id. The
+    /// terminal `dead` marker lives **inside** this lock so that
+    /// "check dead, then insert" in [`Session::submit`] and "set dead,
+    /// then drain" in the reader cannot interleave — a submit either
+    /// sees the session alive and gets drained later, or sees it dead
+    /// and fails fast. No ticket can be orphaned.
+    pending: Mutex<Pending>,
+    next_id: AtomicU64,
     wire: Arc<ByteCounters>,
+}
+
+#[derive(Default)]
+struct Pending {
+    waiters: HashMap<RequestId, SyncSender<Settled>>,
+    dead: Option<SessionDead>,
+}
+
+/// A pipelined connection to a `pathcopy-server`.
+///
+/// Any number of requests may be outstanding at once (the server sheds
+/// with [`WireError::Busy`] beyond its configured queue depth —
+/// surfaced here as [`ClientError::Busy`]). `submit` takes `&self`, so
+/// a session can be shared across threads behind an `Arc` if desired;
+/// each submit is stamped with a unique id and responses are paired by
+/// id, never by order.
+pub struct Session {
+    shared: Arc<SessionShared>,
+    /// Extra handle used only to `shutdown()` the socket on drop, which
+    /// unblocks the reader thread promptly.
+    stream: TcpStream,
+    reader: Option<thread::JoinHandle<()>>,
+}
+
+impl Session {
+    /// Connects (with `TCP_NODELAY`, since the protocol is small framed
+    /// messages) and spawns the demultiplexing reader thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] for any failure resolving `addr`,
+    /// establishing the TCP connection, or configuring the socket.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Session, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let write_half = stream.try_clone()?;
+        let wire = Arc::new(ByteCounters::new());
+        let shared = Arc::new(SessionShared {
+            writer: Mutex::new(BufWriter::new(CountingWriter {
+                inner: write_half,
+                wire: Arc::clone(&wire),
+            })),
+            pending: Mutex::new(Pending::default()),
+            next_id: AtomicU64::new(1),
+            wire: Arc::clone(&wire),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader = thread::Builder::new()
+            .name("pathcopy-client-reader".to_owned())
+            .spawn(move || {
+                reader_loop(
+                    &reader_shared,
+                    BufReader::new(CountingReader {
+                        inner: read_half,
+                        wire,
+                    }),
+                )
+            })
+            .map_err(ClientError::Io)?;
+        Ok(Session {
+            shared,
+            stream,
+            reader: Some(reader),
+        })
+    }
+
+    /// Sends `req` without waiting for its reply and returns the
+    /// [`Ticket`] that will resolve to it. The frame is written (and
+    /// flushed) before this returns, so tickets submitted back-to-back
+    /// are all on the wire — that is the whole point: the server works
+    /// on all of them while the client has not blocked once.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the session is already dead (a previous
+    /// transport or decode failure) or if writing the frame fails.
+    /// Errors the *server* reports for this request arrive through the
+    /// ticket, not here.
+    pub fn submit(&self, req: &Request) -> Result<Ticket, ClientError> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut pending = self.shared.pending.lock();
+            if let Some(dead) = &pending.dead {
+                return Err(dead.to_client_error());
+            }
+            pending.waiters.insert(id, tx);
+        }
+        let write_result = {
+            let mut writer = self.shared.writer.lock();
+            write_request_with_id(&mut *writer, id, req).and_then(|()| writer.flush())
+        };
+        if let Err(e) = write_result {
+            // The frame may be half-written; nothing more can be
+            // multiplexed onto this connection safely.
+            let mut pending = self.shared.pending.lock();
+            pending.waiters.remove(&id);
+            if pending.dead.is_none() {
+                pending.dead = Some(SessionDead {
+                    kind: e.kind(),
+                    msg: e.to_string(),
+                });
+            }
+            return Err(ClientError::Io(e));
+        }
+        Ok(Ticket { id, rx })
+    }
+
+    /// `submit` + [`Ticket::wait`] in one call: a blocking round trip.
+    ///
+    /// # Errors
+    ///
+    /// The union of [`Session::submit`] and [`Ticket::wait`] failures.
+    pub fn call(&self, req: &Request) -> Result<Response, ClientError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Bytes this connection has moved so far, both directions. The
+    /// counters are exact whenever no request is in flight (every
+    /// submit flushes, and responses are counted as they are read),
+    /// which is what the replication layer uses to prove that diff
+    /// catch-up transfers O(changes) bytes while a full sync transfers
+    /// O(n).
+    pub fn wire_bytes(&self) -> ByteCountersSnapshot {
+        self.shared.wire.snapshot()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Unblock the reader (it is parked in read()) and join it; it
+        // drains any still-pending tickets with an error on the way
+        // out, so a Ticket outliving its Session never hangs.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Demultiplexes response frames to their tickets until the connection
+/// dies, then fails every still-pending ticket with the terminal error.
+fn reader_loop(shared: &SessionShared, mut reader: BufReader<CountingReader>) {
+    let dead = loop {
+        match read_response_enveloped(&mut reader) {
+            Ok(Some(framed)) => {
+                let waiter = shared.pending.lock().waiters.remove(&framed.request_id);
+                if let Some(tx) = waiter {
+                    // Capacity-1 channel, exactly one message per
+                    // ticket: send never blocks. A dropped ticket just
+                    // discards the response.
+                    let _ = tx.send(Ok(framed.msg));
+                }
+            }
+            Ok(None) => break SessionDead::closed(),
+            Err(e) => break SessionDead::from_proto(&e),
+        }
+    };
+    let waiters = {
+        let mut pending = shared.pending.lock();
+        if pending.dead.is_none() {
+            pending.dead = Some(dead.clone());
+        }
+        std::mem::take(&mut pending.waiters)
+    };
+    for (_, tx) in waiters {
+        let _ = tx.send(Err(dead.clone()));
+    }
+}
+
+/// A claim on one in-flight request's eventual response. Obtained from
+/// [`Session::submit`]; redeem it with [`wait`](Ticket::wait).
+/// Dropping a ticket abandons the request (the server still executes
+/// it; the reply is discarded on arrival).
+#[must_use = "a Ticket does nothing until wait()ed on"]
+pub struct Ticket {
+    id: RequestId,
+    rx: Receiver<Settled>,
+}
+
+impl Ticket {
+    /// The correlation id this ticket's request carries on the wire.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response for this ticket's request arrives and
+    /// returns it, surfacing server-side errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the session died before the response
+    /// arrived, [`ClientError::Busy`] if the server shed the request at
+    /// its queue-depth bound, and [`ClientError::Server`] for any other
+    /// error the server reported.
+    pub fn wait(self) -> Result<Response, ClientError> {
+        match self.rx.recv() {
+            Ok(Ok(Response::Error(WireError::Busy(depth)))) => Err(ClientError::Busy(depth)),
+            Ok(Ok(Response::Error(e))) => Err(ClientError::Server(e)),
+            Ok(Ok(resp)) => Ok(resp),
+            Ok(Err(dead)) => Err(dead.to_client_error()),
+            // The reader always settles every pending ticket before
+            // exiting, so a closed channel here means the Session (and
+            // its reader) are gone entirely.
+            Err(_) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "session dropped before the response arrived",
+            ))),
+        }
+    }
+}
+
+/// A blocking connection to a `pathcopy-server`: the serial facade over
+/// [`Session`]. Every typed call is `submit + wait` — one round trip —
+/// so code that wants strict request/response alternation keeps exactly
+/// the old behavior. Use [`Client::session`] (or [`into_session`](Client::into_session))
+/// to pipeline on the same connection.
+pub struct Client {
+    session: Session,
 }
 
 impl Client {
@@ -119,33 +426,29 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Any [`io::Error`] from resolving `addr`, establishing the TCP
+    /// [`ClientError::Io`] from resolving `addr`, establishing the TCP
     /// connection, or configuring the socket.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let read_half = stream.try_clone()?;
-        let wire = Arc::new(ByteCounters::new());
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
         Ok(Client {
-            reader: BufReader::new(CountingReader {
-                inner: read_half,
-                wire: Arc::clone(&wire),
-            }),
-            writer: BufWriter::new(CountingWriter {
-                inner: stream,
-                wire: Arc::clone(&wire),
-            }),
-            wire,
+            session: Session::connect(addr)?,
         })
     }
 
-    /// Bytes this connection has moved so far, both directions. The
-    /// counters are exact at request/response boundaries (the writer is
-    /// flushed after every request), which is what the replication layer
-    /// uses to prove that diff catch-up transfers O(changes) bytes while
-    /// a full sync transfers O(n).
+    /// The underlying pipelined session, for submitting concurrent
+    /// requests alongside (or instead of) the typed blocking calls.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Unwraps into the underlying [`Session`].
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// Bytes this connection has moved so far, both directions. See
+    /// [`Session::wire_bytes`].
     pub fn wire_bytes(&self) -> ByteCountersSnapshot {
-        self.wire.snapshot()
+        self.session.wire_bytes()
     }
 
     /// One request/response round trip, surfacing server-side errors.
@@ -153,20 +456,17 @@ impl Client {
     /// # Errors
     ///
     /// [`ClientError::Io`] if the transport fails,
-    /// [`ClientError::Proto`] if the reply frame cannot be decoded, and
-    /// [`ClientError::Server`] if the server answers with an error
-    /// frame. Every typed wrapper below goes through this method and
-    /// inherits these failure modes; wrappers additionally return
-    /// [`ClientError::Unexpected`] if the reply kind does not match the
-    /// request (a protocol bug, not a runtime condition), and their
-    /// docs note which [`WireError`]s the server sends on that request.
+    /// [`ClientError::Proto`] if the reply frame cannot be decoded,
+    /// [`ClientError::Busy`] if the server shed the request at its
+    /// queue-depth bound, and [`ClientError::Server`] if the server
+    /// answers with any other error frame. Every typed wrapper below
+    /// goes through this method and inherits these failure modes;
+    /// wrappers additionally return [`ClientError::Unexpected`] if the
+    /// reply kind does not match the request (a protocol bug, not a
+    /// runtime condition), and their docs note which [`WireError`]s the
+    /// server sends on that request.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_request(&mut self.writer, req)?;
-        self.writer.flush()?;
-        match read_response(&mut self.reader)? {
-            Response::Error(e) => Err(ClientError::Server(e)),
-            resp => Ok(resp),
-        }
+        self.session.call(req)
     }
 
     /// Looks up `key`.
@@ -447,5 +747,105 @@ fn clone_bound(b: Bound<&i64>) -> Bound<i64> {
         Bound::Unbounded => Bound::Unbounded,
         Bound::Included(&k) => Bound::Included(k),
         Bound::Excluded(&k) => Bound::Excluded(k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ShardedServe;
+    use crate::server::{spawn, ServerConfig};
+
+    fn sharded_server(config: ServerConfig) -> crate::server::ServerHandle {
+        spawn(Box::new(ShardedServe::with_shards(8)), config).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn pipelined_tickets_resolve_by_id_not_order() {
+        let server = sharded_server(ServerConfig::default());
+        let session = Session::connect(server.addr()).unwrap();
+
+        // Submit a window of writes without waiting, then redeem the
+        // tickets in reverse submission order.
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|k| {
+                session
+                    .submit(&Request::Insert {
+                        key: k,
+                        value: k * 100,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets.into_iter().rev() {
+            match ticket.wait().unwrap() {
+                Response::Inserted(prev) => assert_eq!(prev, None),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+
+        // And reads pair with their keys even when interleaved.
+        let reads: Vec<(i64, Ticket)> = (0..32)
+            .map(|k| (k, session.submit(&Request::Get { key: k }).unwrap()))
+            .collect();
+        for (k, ticket) in reads {
+            match ticket.wait().unwrap() {
+                Response::Got(v) => assert_eq!(v, Some(k * 100)),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn blocking_client_is_submit_plus_wait() {
+        let server = sharded_server(ServerConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.insert(7, 70).unwrap(), None);
+        assert_eq!(client.get(7).unwrap(), Some(70));
+        assert_eq!(client.remove(7).unwrap(), Some(70));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pending_tickets_fail_cleanly_when_the_server_goes_away() {
+        let server = sharded_server(ServerConfig::default());
+        let session = Session::connect(server.addr()).unwrap();
+        // Prove the session is live first.
+        session
+            .submit(&Request::Insert { key: 1, value: 1 })
+            .unwrap()
+            .wait()
+            .unwrap();
+        server.shutdown();
+        // Every outcome must be an error, never a hang: either the
+        // submit itself fails (connection reset already observed) or
+        // the ticket resolves to an Io error.
+        match session.submit(&Request::Get { key: 1 }) {
+            Ok(ticket) => match ticket.wait() {
+                Err(ClientError::Io(_)) => {}
+                other => panic!("expected Io error, got {other:?}"),
+            },
+            Err(ClientError::Io(_)) => {}
+            Err(other) => panic!("expected Io error, got {other:?}"),
+        }
+        // And the session stays failed-fast afterwards.
+        match session.submit(&Request::Get { key: 1 }) {
+            Err(ClientError::Io(_)) => {}
+            Ok(ticket) => match ticket.wait() {
+                Err(ClientError::Io(_)) => {}
+                other => panic!("expected Io error, got {other:?}"),
+            },
+            Err(other) => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_error_converts_to_io_error_for_replica_call_sites() {
+        let busy: io::Error = ClientError::Busy(64).into();
+        assert_eq!(busy.kind(), io::ErrorKind::Other);
+        let inner = io::Error::new(io::ErrorKind::ConnectionReset, "boom");
+        let through: io::Error = ClientError::Io(inner).into();
+        assert_eq!(through.kind(), io::ErrorKind::ConnectionReset);
     }
 }

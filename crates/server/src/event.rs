@@ -1,0 +1,516 @@
+//! The readiness-driven server core: one event-loop thread multiplexing
+//! every connection, with the [`ThreadPool`](crate::pool::ThreadPool)
+//! demoted from "one worker per connection" to what it should have been
+//! all along — an execution stage for backend work.
+//!
+//! The old core parked one pool worker in a blocking read per
+//! connection, so concurrent connections were capped at the worker
+//! count. Here the loop owns every socket nonblockingly:
+//!
+//! * **accepts** are drained in bursts (at most
+//!   [`Tunables::backlog`] per readiness wake) and refused above
+//!   [`Tunables::max_conns`];
+//! * **reads** append to a per-connection buffer that is parsed into
+//!   whole frames; each decoded request is dispatched to the pool,
+//!   which computes the reply and encodes it off the loop thread;
+//! * **completions** return through a queue + self-wake pipe (a
+//!   `UnixStream` pair — `std` has no portable pipe) and are appended
+//!   to the connection's write queue;
+//! * **writes** drain the queue with vectored writes, so replies that
+//!   piled up while the socket was busy leave in one syscall;
+//! * **admission control** sheds any request that would put a
+//!   connection past [`Tunables::queue_depth`] in-flight requests with
+//!   an immediate [`WireError::Busy`] carrying the bound — the client
+//!   sees backpressure instead of unbounded server-side queueing.
+//!
+//! Because requests from one connection run on a pool of workers,
+//! pipelined requests may complete **out of order**; each reply's
+//! envelope echoes its request id (see [`crate::proto`]), which is the
+//! whole point of the v3 envelope. An idle connection costs one fd and
+//! a couple of buffers — no thread — which is what lets the server
+//! hold thousands of mostly-idle subscribers.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::poll::{Interest, PollEvent, Poller};
+use crate::pool::ThreadPool;
+use crate::proto::{
+    response_frame, Request, RequestId, Response, WireError, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION,
+};
+use crate::server::{handle_request, Shared};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Read chunk size; one such buffer lives on the loop's stack.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Cap on the number of frames batched into one vectored write.
+const MAX_IOVECS: usize = 64;
+
+/// Event-core knobs, split out of `ServerConfig` by `spawn`.
+pub(crate) struct Tunables {
+    /// Max accepts drained per listener readiness wake.
+    pub(crate) backlog: usize,
+    /// Max simultaneous connections; accepts beyond it are refused.
+    pub(crate) max_conns: usize,
+    /// Max in-flight (dispatched, not yet answered) requests per
+    /// connection before shedding with [`WireError::Busy`].
+    pub(crate) queue_depth: usize,
+}
+
+/// A finished request on its way back from a pool worker: the
+/// connection it belongs to and the fully encoded reply frame.
+struct Completion {
+    conn: u64,
+    frame: Vec<u8>,
+}
+
+/// The worker→loop return path: a queue plus the write end of the
+/// self-wake pipe, poked once per empty→non-empty transition.
+pub(crate) struct Completions {
+    queue: Mutex<VecDeque<Completion>>,
+    wake_tx: UnixStream,
+}
+
+impl Completions {
+    pub(crate) fn new(wake_tx: UnixStream) -> Self {
+        Completions {
+            queue: Mutex::new(VecDeque::new()),
+            wake_tx,
+        }
+    }
+
+    fn push(&self, completion: Completion) {
+        let was_empty = {
+            let mut queue = self.queue.lock();
+            let was_empty = queue.is_empty();
+            queue.push_back(completion);
+            was_empty
+        };
+        // One wake byte per transition keeps the pipe from filling
+        // under load; a WouldBlock here means wakes are already
+        // pending, which serves the same purpose. Invariant: a
+        // non-empty queue always has an unconsumed wake byte (or a
+        // drain already in progress), so no completion is stranded.
+        if was_empty {
+            let _ = (&self.wake_tx).write(&[1u8]);
+        }
+    }
+
+    fn drain(&self) -> VecDeque<Completion> {
+        std::mem::take(&mut *self.queue.lock())
+    }
+}
+
+/// Per-connection state: the nonblocking socket and its buffers.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into whole frames.
+    rbuf: Vec<u8>,
+    /// Encoded reply frames awaiting the socket; the front one may be
+    /// partially written (`out_off` bytes already gone).
+    outq: VecDeque<Vec<u8>>,
+    out_off: usize,
+    /// Dispatched requests not yet answered — the admission-control
+    /// counter.
+    in_flight: usize,
+    /// No more reads (peer half-closed, or inbound framing is broken);
+    /// the connection closes once everything pending has been written.
+    closing: bool,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+    /// Envelope version of the last frame that decoded, so
+    /// framing-level errors (where the broken frame names no usable
+    /// version) are answered in the dialect the peer last spoke.
+    last_version: u8,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            outq: VecDeque::new(),
+            out_off: 0,
+            in_flight: 0,
+            closing: false,
+            interest: Interest::READ,
+            last_version: PROTO_VERSION,
+        }
+    }
+}
+
+/// The loop itself; constructed by `spawn`, consumed by [`run`](Self::run)
+/// on its own thread.
+pub(crate) struct EventLoop {
+    // Declared first so its drop joins the workers while the wake pipe
+    // and completion queue are still alive for their final pushes.
+    pool: ThreadPool,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    poller: Poller,
+    shared: Arc<Shared>,
+    completions: Arc<Completions>,
+    tunables: Tunables,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    pub(crate) fn new(
+        listener: TcpListener,
+        wake_rx: UnixStream,
+        shared: Arc<Shared>,
+        completions: Arc<Completions>,
+        workers: usize,
+        tunables: Tunables,
+    ) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        Ok(EventLoop {
+            pool: ThreadPool::new(workers),
+            listener,
+            wake_rx,
+            poller,
+            shared,
+            completions,
+            tunables,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        })
+    }
+
+    /// Serves until the shared stop flag is raised (and a wake byte
+    /// lands). Teardown is deterministic: dropping `self` closes every
+    /// connection socket and joins the pool, whose queued jobs push
+    /// their final completions into a queue nobody reads again.
+    pub(crate) fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::with_capacity(256);
+        loop {
+            events.clear();
+            if self.poller.wait(&mut events).is_err() {
+                return;
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            for ev in events.drain(..) {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKE => self.drain_wake_bytes(),
+                    token => self.conn_event(token, ev.readable, ev.writable),
+                }
+            }
+            self.apply_completions();
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        for _ in 0..self.tunables.backlog.max(1) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.tunables.max_conns {
+                        // Over the cap: refuse by dropping the socket.
+                        // The kernel already completed the handshake,
+                        // so the peer sees an immediate close rather
+                        // than an unanswered SYN.
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream));
+                    self.publish_conn_gauge();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn drain_wake_bytes(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return, // write end gone: shutting down
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Moves finished replies from the completion queue onto their
+    /// connections' write queues, then tries to flush those
+    /// connections immediately — under light load a reply leaves in
+    /// the same loop iteration its work finished.
+    fn apply_completions(&mut self) {
+        let batch = self.completions.drain();
+        if batch.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(batch.len());
+        for completion in batch {
+            // A completion may outlive its connection (peer vanished
+            // while the request ran); it is dropped here.
+            if let Some(conn) = self.conns.get_mut(&completion.conn) {
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+                conn.outq.push_back(completion.frame);
+                touched.push(completion.conn);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.settle(token, conn, true);
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut alive = true;
+        if writable {
+            alive = self.flush(&mut conn);
+        }
+        if alive && readable {
+            alive = self.read_and_dispatch(token, &mut conn);
+        }
+        self.settle(token, conn, alive);
+    }
+
+    /// Final per-event bookkeeping: flush whatever queued, close the
+    /// connection if it is finished (or dead), and keep the poller's
+    /// interest in sync with what the connection actually needs.
+    fn settle(&mut self, token: u64, mut conn: Conn, mut alive: bool) {
+        if alive {
+            alive = self.flush(&mut conn);
+        }
+        if alive && conn.closing && conn.in_flight == 0 && conn.outq.is_empty() {
+            alive = false; // everything owed has been written
+        }
+        if !alive {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            drop(conn); // closes the socket
+            self.publish_conn_gauge();
+            return;
+        }
+        // A closing connection stops reading (or a level-triggered
+        // poller would spin on its unread bytes); write interest
+        // follows the queue.
+        let want = Interest {
+            read: !conn.closing,
+            write: !conn.outq.is_empty(),
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .reregister(conn.stream.as_raw_fd(), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+        self.conns.insert(token, conn);
+    }
+
+    /// Drains the socket into the read buffer and parses/dispatches
+    /// every complete frame. Returns `false` if the connection died.
+    fn read_and_dispatch(&mut self, token: u64, conn: &mut Conn) -> bool {
+        if conn.closing {
+            return true;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed its write side. Anything still
+                    // in flight or queued is written before the
+                    // connection goes; nothing pending means it goes
+                    // now.
+                    if conn.in_flight == 0 && conn.outq.is_empty() {
+                        return false;
+                    }
+                    conn.closing = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    self.parse_frames(token, conn);
+                    if conn.closing {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Splits `conn.rbuf` into complete frames and dispatches each.
+    /// An unparseable frame is answered with `Malformed` and marks the
+    /// connection closing — the stream position can no longer be
+    /// trusted past it.
+    fn parse_frames(&mut self, token: u64, conn: &mut Conn) {
+        let mut pos = 0usize;
+        while conn.rbuf.len() - pos >= 4 {
+            let len =
+                u32::from_le_bytes(conn.rbuf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_LEN as usize || len < 2 {
+                // The length prefix itself is broken: no envelope to
+                // echo, answer in the peer's last-known dialect and
+                // stop trusting the stream.
+                conn.outq.push_back(response_frame(
+                    &Response::Error(WireError::Malformed),
+                    conn.last_version,
+                    0,
+                ));
+                conn.closing = true;
+                break;
+            }
+            if conn.rbuf.len() - pos - 4 < len {
+                break; // incomplete frame: wait for more bytes
+            }
+            let body = &conn.rbuf[pos + 4..pos + 4 + len];
+            pos += 4 + len;
+            let (version, request_id) = peek_envelope(body, conn.last_version);
+            match Request::decode_enveloped(body) {
+                Ok(framed) => {
+                    conn.last_version = framed.version;
+                    self.dispatch(token, conn, framed.version, framed.request_id, framed.msg);
+                }
+                Err(_) => {
+                    conn.outq.push_back(response_frame(
+                        &Response::Error(WireError::Malformed),
+                        version,
+                        request_id,
+                    ));
+                    conn.closing = true;
+                    break;
+                }
+            }
+        }
+        if conn.closing {
+            conn.rbuf.clear();
+        } else {
+            conn.rbuf.drain(..pos);
+        }
+    }
+
+    /// Admission control, then hand the request to the pool. The reply
+    /// frame is encoded on the worker (parallel across requests) and
+    /// returns through the completion queue.
+    fn dispatch(
+        &mut self,
+        token: u64,
+        conn: &mut Conn,
+        version: u8,
+        request_id: RequestId,
+        req: Request,
+    ) {
+        let depth = self.tunables.queue_depth.max(1);
+        if conn.in_flight >= depth {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            conn.outq.push_back(response_frame(
+                &Response::Error(WireError::Busy(depth as u64)),
+                version,
+                request_id,
+            ));
+            return;
+        }
+        conn.in_flight += 1;
+        let shared = Arc::clone(&self.shared);
+        let completions = Arc::clone(&self.completions);
+        self.pool.execute(move || {
+            let resp = handle_request(&shared, req);
+            completions.push(Completion {
+                conn: token,
+                frame: response_frame(&resp, version, request_id),
+            });
+        });
+    }
+
+    /// Writes as much of the connection's queue as the socket takes,
+    /// coalescing queued frames into vectored writes. Returns `false`
+    /// if the connection died.
+    fn flush(&self, conn: &mut Conn) -> bool {
+        while !conn.outq.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.outq.len().min(MAX_IOVECS));
+            let mut frames = conn.outq.iter();
+            if let Some(front) = frames.next() {
+                slices.push(IoSlice::new(&front[conn.out_off..]));
+            }
+            for frame in frames.take(MAX_IOVECS - 1) {
+                slices.push(IoSlice::new(frame));
+            }
+            match (&conn.stream).write_vectored(&slices) {
+                Ok(0) => return false,
+                Ok(mut n) => {
+                    while n > 0 {
+                        let front_left =
+                            conn.outq.front().expect("bytes written").len() - conn.out_off;
+                        if n >= front_left {
+                            n -= front_left;
+                            conn.outq.pop_front();
+                            conn.out_off = 0;
+                        } else {
+                            conn.out_off += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    fn publish_conn_gauge(&self) {
+        self.shared
+            .open_conns
+            .store(self.conns.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Best-effort envelope peek for error replies when full decoding
+/// fails: enough of a v3/v2 head to echo the right version and id, or
+/// the fallback version with id `0`.
+fn peek_envelope(body: &[u8], fallback_version: u8) -> (u8, RequestId) {
+    match body.first() {
+        Some(&PROTO_VERSION) if body.len() >= 9 => (
+            PROTO_VERSION,
+            u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+        ),
+        Some(&PROTO_V2) => (PROTO_V2, 0),
+        _ => (fallback_version, 0),
+    }
+}

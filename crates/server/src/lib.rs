@@ -1,14 +1,26 @@
 //! # pathcopy-server
 //!
 //! The network serving layer over the path-copying engine: a
-//! length-prefixed binary [wire protocol](proto), a thread-pooled
-//! blocking TCP [server], a reusable [client], and the primary side of
-//! the replication subsystem (the [version feed](feed) replicas sync
+//! length-prefixed binary [wire protocol](proto) whose v3 envelope
+//! carries a correlation id so multiple requests can be in flight per
+//! connection, an event-driven nonblocking TCP [server] (a single
+//! readiness loop over a hand-rolled `epoll`/`poll(2)` shim multiplexes
+//! every connection; a [thread pool](pool) executes the backend work),
+//! a pipelined [client] ([`Session::submit`] → [`Ticket::wait`], with
+//! the blocking [`Client`] as the serial facade), and the primary side
+//! of the replication subsystem (the [version feed](feed) replicas sync
 //! from; the replica engine and the `loadgen` traffic generator live in
-//! `pathcopy-replica`). Everything is `std::net` — the workspace builds
-//! offline, so there is no async runtime; concurrency comes from a
-//! hand-rolled [thread pool](pool), in the same spirit as the `shims/`
-//! crates.
+//! `pathcopy-replica`). Everything is `std::net` plus two raw syscalls
+//! — the workspace builds offline, so there is no async runtime and no
+//! `libc` crate, in the same spirit as the `shims/` crates.
+//!
+//! Because connections are multiplexed rather than pinned to threads,
+//! idle connections are nearly free ([`ServerConfig::max_conns`]
+//! bounds them, not the worker count), and overload is shed explicitly:
+//! past [`ServerConfig::queue_depth`] in-flight requests on one
+//! connection the server answers [`WireError::Busy`] instead of
+//! stalling the socket — surfaced client-side as
+//! [`ClientError::Busy`].
 //!
 //! Why a server is the natural front-end for this engine: the paper's
 //! construction gives lock-free point writes *plus* O(1) coherent
@@ -51,16 +63,18 @@
 
 pub mod backend;
 pub mod client;
+mod event;
 pub mod feed;
+mod poll;
 pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use backend::{ServeBackend, ServeSnapshot};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Session, Ticket};
 pub use feed::{FeedSink, VersionFeed};
 pub use proto::{
-    Epoch, FeedInfo, ProtoError, Request, Response, SnapshotId, WireError, WireStats,
-    MAX_FRAME_LEN, PROTO_VERSION,
+    Epoch, FeedInfo, Framed, ProtoError, Request, RequestId, Response, SnapshotId, WireError,
+    WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION,
 };
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use server::{spawn, ServerConfig, ServerConfigBuilder, ServerHandle};

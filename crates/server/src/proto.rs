@@ -1,12 +1,23 @@
 //! The wire protocol: length-prefixed, version-tagged binary frames.
 //!
-//! Every message travels as one frame:
+//! Every message travels as one frame. Version 3 (the current version)
+//! adds a correlation id to the envelope so multiple requests can be in
+//! flight on one connection:
 //!
 //! ```text
-//! [len: u32 LE] [version: u8] [tag: u8] [payload ...]
+//! v3: [len: u32 LE] [version: u8 = 3] [request_id: u64 LE] [tag: u8] [payload ...]
+//! v2: [len: u32 LE] [version: u8 = 2] [tag: u8] [payload ...]
 //! ```
 //!
 //! where `len` counts everything after itself (version byte included).
+//! The server echoes each request's `request_id` on its response and may
+//! complete pipelined requests **in any order**; clients match replies
+//! to requests by id, never by arrival order. Version-2 frames (no id)
+//! are still decoded for legacy peers — they carry an implicit id of
+//! `0` and are answered in kind, but such peers must stay lock-step
+//! (one request in flight), as v2 has no way to correlate reordered
+//! replies.
+//!
 //! Integers are fixed-width little-endian; `Option`s and `Bound`s carry a
 //! one-byte discriminant; vectors a `u32` length. There is no serde and
 //! no reflection — [`Request`] and [`Response`] encode and decode
@@ -30,12 +41,42 @@ use std::ops::Bound;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
 
-/// Protocol version carried in every frame; peers reject mismatches.
+/// Protocol version carried in every frame; peers reject anything that
+/// is neither this nor [`PROTO_V2`].
 ///
+/// Version 3 added the `request_id` correlation field to the envelope
+/// (pipelining) and the [`WireError::Busy`] admission-control error.
 /// Version 2 added the replication feed frames
 /// ([`Request::Publish`]/[`Request::Subscribe`]/[`Request::PullDiff`]/
 /// [`Request::FullSync`]) and the guarded flag on [`Request::Batch`].
-pub const PROTO_VERSION: u8 = 2;
+pub const PROTO_VERSION: u8 = 3;
+
+/// The previous protocol version, still accepted by every decoder. A v2
+/// frame has no `request_id` field; it decodes with an implicit id of
+/// `0` and the server answers it in v2 framing.
+pub const PROTO_V2: u8 = 2;
+
+/// Correlation id carried in every v3 frame. Ids are chosen by the
+/// client (monotonically, per connection) and echoed verbatim by the
+/// server; `0` is what a legacy v2 frame decodes to.
+pub type RequestId = u64;
+
+/// A decoded frame body together with its envelope fields — which
+/// protocol version it arrived in and its correlation id. Produced by
+/// [`Request::decode_enveloped`]/[`Response::decode_enveloped`]; the
+/// server uses `version` to answer each request in the framing it
+/// arrived in, and clients use `request_id` to match pipelined replies
+/// to tickets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framed<T> {
+    /// The envelope version the frame used ([`PROTO_VERSION`] or
+    /// [`PROTO_V2`]).
+    pub version: u8,
+    /// The correlation id (`0` for v2 frames, which carry none).
+    pub request_id: RequestId,
+    /// The decoded message.
+    pub msg: T,
+}
 
 /// Upper bound on the frame body length; larger length prefixes are
 /// rejected before any allocation, so a corrupt peer cannot trigger a
@@ -288,6 +329,12 @@ pub enum WireError {
     /// still available; `0` = the feed is empty). The replica lagged
     /// past the ring and must fall back to a fresh [`Request::FullSync`].
     EpochRetired(Epoch),
+    /// The connection already has `queue_depth` requests in flight (the
+    /// payload is the bound) and this one was shed without being
+    /// executed. Admission control, not failure: in-flight requests are
+    /// unaffected and the connection stays usable — wait for some
+    /// replies, then resubmit.
+    Busy(u64),
 }
 
 impl std::fmt::Display for WireError {
@@ -309,6 +356,12 @@ impl std::fmt::Display for WireError {
                     "epoch retired from the feed (oldest retained: {oldest}); full-sync"
                 )
             }
+            WireError::Busy(depth) => {
+                write!(
+                    f,
+                    "connection at its queue-depth bound ({depth} in flight); request shed"
+                )
+            }
         }
     }
 }
@@ -318,7 +371,8 @@ impl std::fmt::Display for WireError {
 pub enum ProtoError {
     /// The frame ended before the message did.
     Truncated,
-    /// The frame's version byte is not [`PROTO_VERSION`].
+    /// The frame's version byte is neither [`PROTO_VERSION`] nor
+    /// [`PROTO_V2`].
     BadVersion(u8),
     /// An unknown discriminant byte.
     BadTag {
@@ -343,7 +397,10 @@ impl std::fmt::Display for ProtoError {
         match self {
             ProtoError::Truncated => write!(f, "frame truncated mid-message"),
             ProtoError::BadVersion(v) => {
-                write!(f, "protocol version {v} (expected {PROTO_VERSION})")
+                write!(
+                    f,
+                    "protocol version {v} (expected {PROTO_VERSION} or {PROTO_V2})"
+                )
             }
             ProtoError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
             ProtoError::TrailingBytes { extra } => {
@@ -631,15 +688,49 @@ impl<'a> Cur<'a> {
     }
 }
 
+/// Reads the envelope head off a frame body: the version byte, plus the
+/// request id for v3 (v2 frames carry none and get id `0`).
+fn read_envelope(cur: &mut Cur<'_>) -> Result<(u8, RequestId), ProtoError> {
+    match cur.u8()? {
+        PROTO_VERSION => Ok((PROTO_VERSION, cur.u64()?)),
+        PROTO_V2 => Ok((PROTO_V2, 0)),
+        v => Err(ProtoError::BadVersion(v)),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Request
 // ---------------------------------------------------------------------------
 
 impl Request {
-    /// Serializes the message into a frame body (version + tag + payload,
-    /// without the length prefix).
+    /// Serializes the message into a v3 frame body with request id `0`
+    /// (version + id + tag + payload, without the length prefix).
+    /// Lock-step callers that never pipeline can use the zero id
+    /// everywhere; pipelined sessions use
+    /// [`encode_with_id`](Self::encode_with_id).
     pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_with_id(0, out);
+    }
+
+    /// Serializes the message into a v3 frame body carrying `id`, the
+    /// correlation id the server will echo on its reply.
+    pub fn encode_with_id(&self, id: RequestId, out: &mut Vec<u8>) {
         out.push(PROTO_VERSION);
+        put_u64(out, id);
+        self.encode_tail(out);
+    }
+
+    /// Serializes the message in the legacy v2 framing (no request id).
+    /// Interop aid for talking to pre-v3 servers and for tests proving
+    /// v2 frames stay decodable; new code pipelines with
+    /// [`encode_with_id`](Self::encode_with_id).
+    pub fn encode_v2(&self, out: &mut Vec<u8>) {
+        out.push(PROTO_V2);
+        self.encode_tail(out);
+    }
+
+    /// Tag + payload, shared by every envelope version.
+    fn encode_tail(&self, out: &mut Vec<u8>) {
         match self {
             Request::Get { key } => {
                 out.push(1);
@@ -710,9 +801,11 @@ impl Request {
         }
     }
 
-    /// Parses a frame body produced by [`encode`](Self::encode),
-    /// rejecting bad versions, unknown tags, truncation, and trailing
-    /// bytes.
+    /// Parses a frame body produced by [`encode`](Self::encode) (or a
+    /// legacy v2 body), rejecting bad versions, unknown tags,
+    /// truncation, and trailing bytes. The envelope fields are
+    /// discarded; use [`decode_enveloped`](Self::decode_enveloped) when
+    /// the request id matters.
     ///
     /// # Errors
     ///
@@ -720,11 +813,31 @@ impl Request {
     /// [`ProtoError::Truncated`], or [`ProtoError::TrailingBytes`] —
     /// never a panic, whatever the input bytes.
     pub fn decode(body: &[u8]) -> Result<Self, ProtoError> {
+        Self::decode_enveloped(body).map(|f| f.msg)
+    }
+
+    /// Parses a frame body keeping its envelope: the version it used
+    /// (v3 or legacy v2) and its correlation id. This is the server's
+    /// entry point — it must echo the id and answer in the same
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode).
+    pub fn decode_enveloped(body: &[u8]) -> Result<Framed<Self>, ProtoError> {
         let mut cur = Cur::new(body);
-        let version = cur.u8()?;
-        if version != PROTO_VERSION {
-            return Err(ProtoError::BadVersion(version));
-        }
+        let (version, request_id) = read_envelope(&mut cur)?;
+        let msg = Self::decode_tail(&mut cur)?;
+        cur.finish()?;
+        Ok(Framed {
+            version,
+            request_id,
+            msg,
+        })
+    }
+
+    /// Tag + payload, shared by every envelope version.
+    fn decode_tail(cur: &mut Cur<'_>) -> Result<Self, ProtoError> {
         let req = match cur.u8()? {
             1 => Request::Get { key: cur.i64()? },
             2 => Request::Insert {
@@ -776,7 +889,6 @@ impl Request {
                 })
             }
         };
-        cur.finish()?;
         Ok(req)
     }
 }
@@ -786,10 +898,31 @@ impl Request {
 // ---------------------------------------------------------------------------
 
 impl Response {
-    /// Serializes the message into a frame body (version + tag + payload,
-    /// without the length prefix).
+    /// Serializes the message into a v3 frame body with request id `0`
+    /// (version + id + tag + payload, without the length prefix). The
+    /// durable log stores exactly these bodies, so recovery decodes
+    /// with the same [`decode`](Self::decode) the wire uses.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_with_id(0, out);
+    }
+
+    /// Serializes the message into a v3 frame body echoing `id`, the
+    /// correlation id of the request being answered.
+    pub fn encode_with_id(&self, id: RequestId, out: &mut Vec<u8>) {
         out.push(PROTO_VERSION);
+        put_u64(out, id);
+        self.encode_tail(out);
+    }
+
+    /// Serializes the message in the legacy v2 framing (no request id);
+    /// the server answers v2 requests with it.
+    pub fn encode_v2(&self, out: &mut Vec<u8>) {
+        out.push(PROTO_V2);
+        self.encode_tail(out);
+    }
+
+    /// Tag + payload, shared by every envelope version.
+    fn encode_tail(&self, out: &mut Vec<u8>) {
         match self {
             Response::Got(v) => {
                 out.push(1);
@@ -868,6 +1001,10 @@ impl Response {
                         out.push(5);
                         put_u64(out, *oldest);
                     }
+                    WireError::Busy(depth) => {
+                        out.push(6);
+                        put_u64(out, *depth);
+                    }
                 }
             }
             Response::BatchAborted(failed) => {
@@ -912,18 +1049,40 @@ impl Response {
         }
     }
 
-    /// Parses a frame body produced by [`encode`](Self::encode), with the
-    /// same strictness as [`Request::decode`].
+    /// Parses a frame body produced by [`encode`](Self::encode) (or a
+    /// legacy v2 body), with the same strictness as
+    /// [`Request::decode`]. The envelope fields are discarded; a
+    /// pipelined client uses
+    /// [`decode_enveloped`](Self::decode_enveloped) to route the reply
+    /// to its ticket.
     ///
     /// # Errors
     ///
     /// As [`Request::decode`].
     pub fn decode(body: &[u8]) -> Result<Self, ProtoError> {
+        Self::decode_enveloped(body).map(|f| f.msg)
+    }
+
+    /// Parses a frame body keeping its envelope — the version it used
+    /// and the request id it answers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
+    pub fn decode_enveloped(body: &[u8]) -> Result<Framed<Self>, ProtoError> {
         let mut cur = Cur::new(body);
-        let version = cur.u8()?;
-        if version != PROTO_VERSION {
-            return Err(ProtoError::BadVersion(version));
-        }
+        let (version, request_id) = read_envelope(&mut cur)?;
+        let msg = Self::decode_tail(&mut cur)?;
+        cur.finish()?;
+        Ok(Framed {
+            version,
+            request_id,
+            msg,
+        })
+    }
+
+    /// Tag + payload, shared by every envelope version.
+    fn decode_tail(cur: &mut Cur<'_>) -> Result<Self, ProtoError> {
         let resp = match cur.u8()? {
             1 => Response::Got(cur.opt_i64()?),
             2 => Response::Inserted(cur.opt_i64()?),
@@ -976,6 +1135,7 @@ impl Response {
                 3 => WireError::TooLarge,
                 4 => WireError::SnapshotLimit(cur.u64()?),
                 5 => WireError::EpochRetired(cur.u64()?),
+                6 => WireError::Busy(cur.u64()?),
                 tag => return Err(ProtoError::BadTag { what: "error", tag }),
             }),
             12 => {
@@ -1021,7 +1181,6 @@ impl Response {
                 })
             }
         };
-        cur.finish()?;
         Ok(resp)
     }
 }
@@ -1079,14 +1238,26 @@ fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
     }
 }
 
-/// Writes one request frame (the caller flushes buffered writers).
+/// Writes one request frame with request id `0` (the caller flushes
+/// buffered writers).
 ///
 /// # Errors
 ///
 /// Any [`io::Error`] from the underlying writer.
 pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
-    let mut body = Vec::with_capacity(32);
-    req.encode(&mut body);
+    write_request_with_id(w, 0, req)
+}
+
+/// Writes one request frame carrying `id`, the correlation id a
+/// pipelined session matches the reply by (the caller flushes buffered
+/// writers).
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the underlying writer.
+pub fn write_request_with_id<W: Write>(w: &mut W, id: RequestId, req: &Request) -> io::Result<()> {
+    let mut body = Vec::with_capacity(40);
+    req.encode_with_id(id, &mut body);
     write_frame(w, &body)
 }
 
@@ -1105,7 +1276,21 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, ProtoError> {
     }
 }
 
-/// Writes one response frame (the caller flushes buffered writers).
+/// Reads one request frame keeping its envelope (version + request id);
+/// `Ok(None)` on clean connection close. What a server loop reads.
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_request_enveloped<R: Read>(r: &mut R) -> Result<Option<Framed<Request>>, ProtoError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(body) => Request::decode_enveloped(&body).map(Some),
+    }
+}
+
+/// Writes one response frame with request id `0` (the caller flushes
+/// buffered writers).
 ///
 /// # Errors
 ///
@@ -1114,6 +1299,54 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
     let mut body = Vec::with_capacity(64);
     resp.encode(&mut body);
     write_frame(w, &body)
+}
+
+/// Writes one response frame echoing `id` (the caller flushes buffered
+/// writers). What a v3 server — or a test mocking one — answers a
+/// pipelined request with.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the underlying writer.
+pub fn write_response_with_id<W: Write>(
+    w: &mut W,
+    id: RequestId,
+    resp: &Response,
+) -> io::Result<()> {
+    let mut body = Vec::with_capacity(72);
+    resp.encode_with_id(id, &mut body);
+    write_frame(w, &body)
+}
+
+/// Encodes `resp` as one complete frame — length prefix included — in
+/// the envelope `version` the request arrived in, echoing `id` on v3
+/// frames (v2 has no id field). A body over [`MAX_FRAME_LEN`] is
+/// replaced in place by [`WireError::TooLarge`] with the same envelope,
+/// so the result is always sendable and the stream always stays at a
+/// frame boundary. This is what the event-driven server queues on each
+/// connection's write buffer.
+pub fn response_frame(resp: &Response, version: u8, id: RequestId) -> Vec<u8> {
+    fn encode_versioned(resp: &Response, version: u8, id: RequestId, out: &mut Vec<u8>) {
+        if version == PROTO_V2 {
+            resp.encode_v2(out);
+        } else {
+            resp.encode_with_id(id, out);
+        }
+    }
+    let mut frame = vec![0u8; 4];
+    encode_versioned(resp, version, id, &mut frame);
+    if frame.len() - 4 > MAX_FRAME_LEN as usize {
+        frame.truncate(4);
+        encode_versioned(
+            &Response::Error(WireError::TooLarge),
+            version,
+            id,
+            &mut frame,
+        );
+    }
+    let len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&len.to_le_bytes());
+    frame
 }
 
 /// Reads one response frame. A close mid-conversation is an error — the
@@ -1131,6 +1364,21 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<Response, ProtoError> {
             "connection closed while awaiting a response",
         ))),
         Some(body) => Response::decode(&body),
+    }
+}
+
+/// Reads one response frame keeping its envelope — what a pipelined
+/// session's demux loop reads to route each reply to its ticket.
+/// `Ok(None)` means the peer closed cleanly at a frame boundary (a
+/// session with nothing in flight treats that as normal teardown).
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_response_enveloped<R: Read>(r: &mut R) -> Result<Option<Framed<Response>>, ProtoError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(body) => Response::decode_enveloped(&body).map(Some),
     }
 }
 
@@ -1288,6 +1536,7 @@ mod tests {
             Response::Error(WireError::TooLarge),
             Response::Error(WireError::SnapshotLimit(512)),
             Response::Error(WireError::EpochRetired(4)),
+            Response::Error(WireError::Busy(64)),
         ];
         for resp in resps {
             assert_eq!(roundtrip_response(&resp), resp);
@@ -1315,7 +1564,11 @@ mod tests {
         let err = Request::decode(&[PROTO_VERSION + 1, 1]).unwrap_err();
         assert!(matches!(err, ProtoError::BadVersion(_)));
 
-        let err = Request::decode(&[PROTO_VERSION, 0xEE]).unwrap_err();
+        // v3 envelope: version, 8 id bytes, then a bogus tag.
+        let mut body = vec![PROTO_VERSION];
+        put_u64(&mut body, 7);
+        body.push(0xEE);
+        let err = Request::decode(&body).unwrap_err();
         assert!(matches!(
             err,
             ProtoError::BadTag {
@@ -1324,7 +1577,7 @@ mod tests {
             }
         ));
 
-        let err = Response::decode(&[PROTO_VERSION, 0xEE]).unwrap_err();
+        let err = Response::decode(&body).unwrap_err();
         assert!(matches!(
             err,
             ProtoError::BadTag {
@@ -1332,6 +1585,83 @@ mod tests {
                 ..
             }
         ));
+
+        // A v3 frame cut inside the id field is truncation, not a tag.
+        assert!(matches!(
+            Request::decode(&[PROTO_VERSION, 1, 2, 3]),
+            Err(ProtoError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn envelope_carries_the_request_id_both_ways() {
+        for id in [0u64, 1, 42, u64::MAX] {
+            let mut body = Vec::new();
+            Request::Get { key: 9 }.encode_with_id(id, &mut body);
+            let framed = Request::decode_enveloped(&body).unwrap();
+            assert_eq!(framed.version, PROTO_VERSION);
+            assert_eq!(framed.request_id, id);
+            assert_eq!(framed.msg, Request::Get { key: 9 });
+
+            let mut body = Vec::new();
+            Response::Got(Some(-3)).encode_with_id(id, &mut body);
+            let framed = Response::decode_enveloped(&body).unwrap();
+            assert_eq!(framed.request_id, id);
+            assert_eq!(framed.msg, Response::Got(Some(-3)));
+        }
+    }
+
+    #[test]
+    fn legacy_v2_frames_still_decode_with_id_zero() {
+        let req = Request::Insert { key: 1, value: 2 };
+        let mut body = Vec::new();
+        req.encode_v2(&mut body);
+        assert_eq!(body[0], PROTO_V2);
+        let framed = Request::decode_enveloped(&body).unwrap();
+        assert_eq!((framed.version, framed.request_id), (PROTO_V2, 0));
+        assert_eq!(framed.msg, req);
+
+        let resp = Response::Inserted(None);
+        let mut body = Vec::new();
+        resp.encode_v2(&mut body);
+        let framed = Response::decode_enveloped(&body).unwrap();
+        assert_eq!((framed.version, framed.request_id), (PROTO_V2, 0));
+        assert_eq!(framed.msg, resp);
+    }
+
+    #[test]
+    fn busy_error_roundtrips() {
+        let resp = Response::Error(WireError::Busy(64));
+        let mut body = Vec::new();
+        resp.encode_with_id(5, &mut body);
+        let framed = Response::decode_enveloped(&body).unwrap();
+        assert_eq!(framed.request_id, 5);
+        assert_eq!(framed.msg, resp);
+    }
+
+    #[test]
+    fn response_frame_is_versioned_and_substitutes_too_large() {
+        // v3: the id comes back; v2: no id field at all.
+        let frame = response_frame(&Response::Got(None), PROTO_VERSION, 9);
+        let body = &frame[4..];
+        let framed = Response::decode_enveloped(body).unwrap();
+        assert_eq!((framed.version, framed.request_id), (PROTO_VERSION, 9));
+
+        let frame = response_frame(&Response::Got(None), PROTO_V2, 9);
+        let framed = Response::decode_enveloped(&frame[4..]).unwrap();
+        assert_eq!((framed.version, framed.request_id), (PROTO_V2, 0));
+
+        // An overflowing body becomes TooLarge with the same envelope.
+        let huge = Response::Entries {
+            entries: vec![(0, 0); (MAX_FRAME_LEN as usize / 16) + 1],
+            complete: true,
+        };
+        let frame = response_frame(&huge, PROTO_VERSION, 7);
+        let framed = Response::decode_enveloped(&frame[4..]).unwrap();
+        assert_eq!(framed.request_id, 7);
+        assert_eq!(framed.msg, Response::Error(WireError::TooLarge));
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap());
+        assert_eq!(len as usize, frame.len() - 4);
     }
 
     #[test]
@@ -1373,7 +1703,10 @@ mod tests {
     fn corrupt_sequence_length_is_truncated_not_oom() {
         // A Batch frame claiming u32::MAX ops with a near-empty payload
         // must fail cleanly instead of attempting a giant allocation.
-        let mut body = vec![PROTO_VERSION, 5, 0 /* guarded: false */];
+        let mut body = vec![PROTO_VERSION];
+        put_u64(&mut body, 0); // request id
+        body.push(5); // Batch
+        body.push(0); // guarded: false
         put_u32(&mut body, u32::MAX);
         assert!(matches!(Request::decode(&body), Err(ProtoError::Truncated)));
     }

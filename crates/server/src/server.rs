@@ -1,11 +1,14 @@
-//! The threaded TCP server: accept loop, connection workers, and the
+//! The TCP server: an event-driven core, a backend work pool, and the
 //! named-snapshot version table.
 //!
-//! [`spawn`] binds a listener (an ephemeral loopback port by default),
-//! starts an accept thread, and hands each connection to a fixed
-//! [`ThreadPool`] worker that speaks the [`proto`](crate::proto) framing
-//! in a blocking request/response loop. The server is generic over its
-//! engine through `Box<dyn ServeBackend>` — any backend of the registry
+//! [`spawn`] binds a listener (an ephemeral loopback port by default)
+//! and starts one event-loop thread (the private `event` module) that
+//! owns every connection nonblockingly; decoded requests run on a
+//! [`ThreadPool`](crate::pool::ThreadPool) of `workers` threads, so
+//! connection count and execution parallelism are independent knobs —
+//! thousands of mostly-idle connections cost fds and buffers, not
+//! threads. The server is generic over its engine through
+//! `Box<dyn ServeBackend>` — any backend of the registry
 //! ([`crate::backend::backends`]) can be served unchanged.
 //!
 //! The **version table** is what makes the serving layer more than a
@@ -18,13 +21,14 @@
 //! blocks a writer.
 //!
 //! Shutdown ([`ServerHandle::shutdown`], also run on drop) is
-//! deterministic: the stop flag is raised, every registered connection
-//! socket is shut down to unblock its worker, a wake connection unblocks
-//! `accept`, and the accept thread joins the pool before exiting.
+//! deterministic: the stop flag is raised, a byte on the self-wake pipe
+//! returns the event loop from its poll, and the loop's teardown closes
+//! every connection socket and joins the pool.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write as _};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,11 +36,11 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use crate::backend::{ServeBackend, ServeSnapshot};
+use crate::event::{Completions, EventLoop, Tunables};
 use crate::feed::{FeedSink, VersionFeed};
-use crate::pool::ThreadPool;
 use crate::proto::{
-    read_request, write_response, Epoch, ProtoError, Request, Response, SnapshotId, WireError,
-    WireStats, MAX_FRAME_LEN, SYNC_PAGE_MAX_ENTRIES,
+    Epoch, Request, Response, SnapshotId, WireError, WireStats, MAX_FRAME_LEN,
+    SYNC_PAGE_MAX_ENTRIES,
 };
 
 /// Tunables for [`spawn`].
@@ -45,9 +49,23 @@ pub struct ServerConfig {
     /// Address to bind; the default is an ephemeral loopback port
     /// (`127.0.0.1:0`), read back via [`ServerHandle::addr`].
     pub addr: SocketAddr,
-    /// Connection worker threads. Each worker owns one connection at a
-    /// time, so this bounds concurrent connections.
+    /// Backend worker threads — the execution parallelism for request
+    /// handling. Connections are multiplexed on the event loop and are
+    /// **not** bounded by this (see [`ServerConfig::max_conns`]).
     pub workers: usize,
+    /// Maximum accepts drained per listener readiness wake. Bounds how
+    /// long an accept storm can monopolize one loop iteration before
+    /// established connections get service again.
+    pub backlog: usize,
+    /// Maximum simultaneous connections; accepts beyond the cap are
+    /// refused (the socket is closed immediately after the handshake).
+    pub max_conns: usize,
+    /// Per-connection bound on in-flight (dispatched, unanswered)
+    /// requests. A pipelined client pushing past it gets an immediate
+    /// [`WireError::Busy`] for the excess request — admission control
+    /// instead of unbounded server-side queueing. Lock-step clients
+    /// (at most one request in flight) never trip it.
+    pub queue_depth: usize,
     /// Capacity of the version table. Every pinned snapshot keeps an
     /// entire map version alive under write churn, and nothing but an
     /// explicit [`Request::Release`] unpins one (snapshots deliberately
@@ -77,6 +95,9 @@ impl std::fmt::Debug for ServerConfig {
         f.debug_struct("ServerConfig")
             .field("addr", &self.addr)
             .field("workers", &self.workers)
+            .field("backlog", &self.backlog)
+            .field("max_conns", &self.max_conns)
+            .field("queue_depth", &self.queue_depth)
             .field("max_snapshots", &self.max_snapshots)
             .field("feed_capacity", &self.feed_capacity)
             .field("feed_start", &self.feed_start)
@@ -93,6 +114,9 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 4,
+            backlog: 64,
+            max_conns: 4096,
+            queue_depth: 64,
             max_snapshots: 1024,
             feed_capacity: 64,
             feed_start: 1,
@@ -102,17 +126,105 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    /// [`Default::default`] with a different worker count.
-    pub fn with_workers(workers: usize) -> Self {
-        ServerConfig {
-            workers,
-            ..Self::default()
+    /// A builder starting from [`Default::default`] — the idiomatic way
+    /// to set several knobs:
+    ///
+    /// ```
+    /// use pathcopy_server::ServerConfig;
+    ///
+    /// let config = ServerConfig::builder()
+    ///     .workers(8)
+    ///     .max_conns(10_000)
+    ///     .queue_depth(32)
+    ///     .build();
+    /// assert_eq!(config.workers, 8);
+    /// ```
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: Self::default(),
         }
+    }
+
+    /// [`Default::default`] with a different worker count — shorthand
+    /// for `ServerConfig::builder().workers(n).build()`, kept because
+    /// it is what almost every test and tool wants.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::builder().workers(workers).build()
     }
 }
 
-/// State shared by the accept loop and every connection worker.
-struct Shared {
+/// Builder for [`ServerConfig`]; see [`ServerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the bind address ([`ServerConfig::addr`]).
+    pub fn addr(mut self, addr: SocketAddr) -> Self {
+        self.config.addr = addr;
+        self
+    }
+
+    /// Sets the backend worker-thread count ([`ServerConfig::workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the per-wake accept burst ([`ServerConfig::backlog`]).
+    pub fn backlog(mut self, backlog: usize) -> Self {
+        self.config.backlog = backlog;
+        self
+    }
+
+    /// Sets the simultaneous-connection cap
+    /// ([`ServerConfig::max_conns`]).
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.config.max_conns = max_conns;
+        self
+    }
+
+    /// Sets the per-connection in-flight bound
+    /// ([`ServerConfig::queue_depth`]).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the version-table cap ([`ServerConfig::max_snapshots`]).
+    pub fn max_snapshots(mut self, max_snapshots: usize) -> Self {
+        self.config.max_snapshots = max_snapshots;
+        self
+    }
+
+    /// Sets the feed ring capacity ([`ServerConfig::feed_capacity`]).
+    pub fn feed_capacity(mut self, feed_capacity: usize) -> Self {
+        self.config.feed_capacity = feed_capacity;
+        self
+    }
+
+    /// Sets the first epoch the feed assigns
+    /// ([`ServerConfig::feed_start`]).
+    pub fn feed_start(mut self, feed_start: Epoch) -> Self {
+        self.config.feed_start = feed_start;
+        self
+    }
+
+    /// Attaches a publish observer ([`ServerConfig::feed_sink`]).
+    pub fn feed_sink(mut self, sink: Arc<dyn FeedSink>) -> Self {
+        self.config.feed_sink = Some(sink);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+}
+
+/// State shared by the event loop and every pool worker.
+pub(crate) struct Shared {
     backend: Box<dyn ServeBackend>,
     /// The version table: named snapshot handles pinned by
     /// [`Request::Snapshot`], readable from any connection until
@@ -124,21 +236,23 @@ struct Shared {
     /// from ([`Request::Publish`]/[`Request::PullDiff`]/
     /// [`Request::FullSync`]).
     feed: VersionFeed,
-    /// Open-connection registry (`try_clone` handles), kept so shutdown
-    /// can unblock workers parked in a blocking read.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
     requests: AtomicU64,
-    stop: AtomicBool,
+    /// Requests refused at admission control with [`WireError::Busy`].
+    pub(crate) shed: AtomicU64,
+    /// Gauge of currently open connections, maintained by the loop.
+    pub(crate) open_conns: AtomicU64,
+    pub(crate) stop: AtomicBool,
 }
 
 /// A running server; dropping it (or calling
-/// [`shutdown`](Self::shutdown)) stops the accept loop and joins every
+/// [`shutdown`](Self::shutdown)) stops the event loop and joins every
 /// worker.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    /// Write end of the loop's self-wake pipe, poked on shutdown.
+    wake: UnixStream,
+    thread: Option<JoinHandle<()>>,
 }
 
 /// Binds `config.addr` and serves `backend` until the handle is dropped.
@@ -172,20 +286,37 @@ pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result
         next_snapshot: AtomicU64::new(0),
         max_snapshots: config.max_snapshots,
         feed: VersionFeed::configured(config.feed_capacity, config.feed_start, config.feed_sink),
-        conns: Mutex::new(HashMap::new()),
-        next_conn: AtomicU64::new(0),
         requests: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        open_conns: AtomicU64::new(0),
         stop: AtomicBool::new(false),
     });
-    let accept_shared = Arc::clone(&shared);
-    let workers = config.workers;
-    let accept = std::thread::Builder::new()
-        .name("pathcopy-server-accept".to_string())
-        .spawn(move || accept_loop(listener, accept_shared, workers))?;
+    // The self-wake pipe: pool workers (and shutdown) poke the write
+    // end, the event loop polls the read end.
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    let handle_wake = wake_tx.try_clone()?;
+    let completions = Arc::new(Completions::new(wake_tx));
+    let event_loop = EventLoop::new(
+        listener,
+        wake_rx,
+        Arc::clone(&shared),
+        completions,
+        config.workers,
+        Tunables {
+            backlog: config.backlog,
+            max_conns: config.max_conns,
+            queue_depth: config.queue_depth,
+        },
+    )?;
+    let thread = std::thread::Builder::new()
+        .name("pathcopy-server-loop".to_string())
+        .spawn(move || event_loop.run())?;
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
+        wake: handle_wake,
+        thread: Some(thread),
     })
 }
 
@@ -195,9 +326,24 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Total requests served so far, across all connections.
+    /// Total requests served so far, across all connections. Shed
+    /// requests ([`requests_shed`](Self::requests_shed)) are not
+    /// served and not counted here.
     pub fn requests_served(&self) -> u64 {
         self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused at admission control with [`WireError::Busy`]
+    /// because their connection was already at
+    /// [`ServerConfig::queue_depth`] in-flight requests.
+    pub fn requests_shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Currently open connections (a gauge, momentarily stale by one
+    /// event-loop iteration).
+    pub fn open_connections(&self) -> u64 {
+        self.shared.open_conns.load(Ordering::Relaxed)
     }
 
     /// The served engine, for in-process inspection (demos, tests).
@@ -205,109 +351,28 @@ impl ServerHandle {
         self.shared.backend.as_ref()
     }
 
-    /// Stops accepting, unblocks and joins every connection worker, and
-    /// returns once the server is fully down. Also performed on drop.
+    /// Stops the event loop, closes every connection, joins the worker
+    /// pool, and returns once the server is fully down. Also performed
+    /// on drop.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        let Some(accept) = self.accept.take() else {
+        let Some(thread) = self.thread.take() else {
             return;
         };
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock workers parked in a read on an open connection.
-        for (_, conn) in self.shared.conns.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        // Unblock the accept call itself with a wake connection. An
-        // unspecified bind address (0.0.0.0 / ::) is not connectable on
-        // every platform, so aim the wake at loopback on the bound port;
-        // a short timeout keeps shutdown from hanging on an unreachable
-        // interface.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            match wake {
-                SocketAddr::V4(_) => wake.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
-                SocketAddr::V6(_) => wake.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
-            }
-        }
-        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_millis(500));
-        let _ = accept.join();
+        // A byte on the self-wake pipe returns the loop from its poll;
+        // it checks the stop flag and tears down.
+        let _ = (&self.wake).write(&[1u8]);
+        let _ = thread.join();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_and_join();
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, workers: usize) {
-    let pool = ThreadPool::new(workers);
-    for conn in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().insert(id, clone);
-        }
-        let shared = Arc::clone(&shared);
-        pool.execute(move || {
-            handle_connection(stream, &shared);
-            shared.conns.lock().remove(&id);
-        });
-    }
-    // Connections registered after shutdown's drain still need their
-    // sockets closed, or the pool join below would wait on their reads.
-    for (_, conn) in shared.conns.lock().drain() {
-        let _ = conn.shutdown(Shutdown::Both);
-    }
-    drop(pool); // joins the workers
-}
-
-/// One connection's blocking request/response loop.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match read_request(&mut reader) {
-            Ok(None) => return, // clean close
-            Ok(Some(req)) => {
-                let resp = handle_request(shared, req);
-                let sent = match write_response(&mut writer, &resp) {
-                    Ok(()) => true,
-                    // The reply overflowed the frame cap; nothing hit the
-                    // stream, so substitute a TooLarge error and keep the
-                    // connection — the client can page the request.
-                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                        write_response(&mut writer, &Response::Error(WireError::TooLarge)).is_ok()
-                    }
-                    Err(_) => false,
-                };
-                if !sent || writer.flush().is_err() {
-                    return;
-                }
-            }
-            // Transport failure (peer reset, shutdown): nothing to say.
-            Err(ProtoError::Io(_)) => return,
-            // Framing/decoding failure: tell the peer, then drop the
-            // connection — the stream position can no longer be trusted.
-            Err(_) => {
-                let _ = write_response(&mut writer, &Response::Error(WireError::Malformed));
-                let _ = writer.flush();
-                return;
-            }
-        }
     }
 }
 
@@ -328,7 +393,10 @@ fn resolve_snapshot(
     }
 }
 
-fn handle_request(shared: &Shared, req: Request) -> Response {
+/// Executes one request against the shared state — the dispatch every
+/// pool worker runs. Pure request→response; framing, ordering, and
+/// admission control all live in the event loop.
+pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
     shared.requests.fetch_add(1, Ordering::Relaxed);
     match req {
         Request::Get { key } => Response::Got(shared.backend.get(key)),
@@ -478,6 +546,7 @@ mod tests {
     use crate::backend::ShardedServe;
     use crate::client::Client;
     use pathcopy_concurrent::BatchOp;
+    use std::net::TcpStream;
 
     fn sharded_server() -> ServerHandle {
         spawn(

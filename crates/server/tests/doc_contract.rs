@@ -10,7 +10,7 @@
 use std::ops::Bound;
 
 use pathcopy_server::proto::{
-    FeedInfo, Request, Response, WireError, WireStats, MAX_FRAME_LEN, PROTO_VERSION,
+    FeedInfo, Request, Response, WireError, WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION,
     SYNC_PAGE_MAX_ENTRIES,
 };
 
@@ -32,10 +32,11 @@ fn spaced(n: u64) -> String {
     out
 }
 
-/// The tag byte of an encoded body (`[version][tag]...`).
+/// The tag byte of an encoded v3 body
+/// (`[version][request_id: 8 bytes][tag]...`).
 fn tag_of(body: &[u8]) -> u8 {
     assert_eq!(body[0], PROTO_VERSION, "version byte leads every body");
-    body[1]
+    body[9]
 }
 
 #[test]
@@ -44,6 +45,10 @@ fn constants_quoted_in_the_doc_match_the_code() {
     assert!(
         doc.contains(&format!("`PROTO_VERSION = {PROTO_VERSION}`")),
         "doc must quote the current protocol version"
+    );
+    assert!(
+        doc.contains(&format!("`PROTO_V2 = {PROTO_V2}`")),
+        "doc must quote the accepted legacy version"
     );
     assert_eq!(MAX_FRAME_LEN, 16 << 20, "doc states the cap as 16 MiB");
     assert!(
@@ -172,14 +177,38 @@ fn error_subtag_table_matches_the_encoder() {
         ("TooLarge", WireError::TooLarge),
         ("SnapshotLimit", WireError::SnapshotLimit(0)),
         ("EpochRetired", WireError::EpochRetired(0)),
+        ("Busy", WireError::Busy(0)),
     ];
     for (name, err) in samples {
         let mut body = Vec::new();
         Response::Error(err).encode(&mut body);
-        // [version][tag 11][sub-tag]...
-        let row = format!("| {} | `{name}` |", body[2]);
+        // [version][request_id: 8 bytes][tag 11][sub-tag]...
+        let row = format!("| {} | `{name}` |", body[10]);
         assert!(doc.contains(&row), "error table must contain `{row}`");
     }
+}
+
+#[test]
+fn legacy_v2_envelope_matches_the_doc() {
+    let doc = doc();
+    // The doc's v2 diagram: no request_id field between version and tag.
+    assert!(
+        doc.contains("`[version: u8 = 2] [tag: u8] [payload ...]`"),
+        "doc must show the legacy v2 body layout"
+    );
+    // encode_v2 really emits that layout with the same tag numbers as
+    // v3, and it round-trips through the v3-aware decoder with id 0.
+    let mut v2 = Vec::new();
+    let mut v3 = Vec::new();
+    let req = Request::Stats;
+    req.encode_v2(&mut v2);
+    req.encode(&mut v3);
+    assert_eq!(v2[0], PROTO_V2);
+    assert_eq!(v2[1], v3[9], "v2 and v3 share tag numbers");
+    let framed = Request::decode_enveloped(&v2).expect("v2 decodes");
+    assert_eq!(framed.version, PROTO_V2);
+    assert_eq!(framed.request_id, 0, "v2 frames carry implicit id 0");
+    assert_eq!(framed.msg, req);
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Property tests for the wire protocol: encode→decode is the identity
-//! for arbitrary messages, and corrupted frames (truncation, bad tags,
-//! bad versions, trailing bytes) are rejected, never mis-parsed.
+//! for arbitrary messages, the v3 envelope carries its correlation id
+//! both ways (and legacy v2 frames still decode), and corrupted frames
+//! (truncation, bad tags, bad versions, trailing bytes) are rejected,
+//! never mis-parsed.
 
 use std::ops::Bound;
 
@@ -9,7 +11,7 @@ use proptest::prelude::*;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
 use pathcopy_server::proto::{
-    FeedInfo, ProtoError, Request, Response, WireError, WireStats, PROTO_VERSION,
+    FeedInfo, ProtoError, Request, Response, WireError, WireStats, PROTO_V2, PROTO_VERSION,
 };
 
 fn arb_opt_i64() -> impl Strategy<Value = Option<i64>> {
@@ -215,15 +217,17 @@ proptest! {
     #[test]
     fn bad_version_is_rejected(req in arb_request(), v in 0u8..=255) {
         let mut body = encode_request(&req);
-        if v != PROTO_VERSION {
+        if v != PROTO_VERSION && v != PROTO_V2 {
             body[0] = v;
             prop_assert!(matches!(Request::decode(&body), Err(ProtoError::BadVersion(_))));
         }
     }
 
     #[test]
-    fn unknown_request_tags_are_rejected(tag in 15u8..=255, payload in prop::collection::vec(any::<u8>(), 0..16)) {
-        let mut body = vec![PROTO_VERSION, tag];
+    fn unknown_request_tags_are_rejected(tag in 15u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+        let mut body = vec![PROTO_VERSION];
+        body.extend(id.to_le_bytes());
+        body.push(tag);
         body.extend(payload);
         prop_assert!(matches!(
             Request::decode(&body),
@@ -232,13 +236,52 @@ proptest! {
     }
 
     #[test]
-    fn unknown_response_tags_are_rejected(tag in 17u8..=255, payload in prop::collection::vec(any::<u8>(), 0..16)) {
-        let mut body = vec![PROTO_VERSION, tag];
+    fn unknown_response_tags_are_rejected(tag in 17u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+        let mut body = vec![PROTO_VERSION];
+        body.extend(id.to_le_bytes());
+        body.push(tag);
         body.extend(payload);
         prop_assert!(matches!(
             Response::decode(&body),
             Err(ProtoError::BadTag { .. })
         ));
+    }
+
+    #[test]
+    fn request_envelope_id_roundtrips(req in arb_request(), id in any::<u64>()) {
+        let mut body = Vec::new();
+        req.encode_with_id(id, &mut body);
+        let framed = Request::decode_enveloped(&body).expect("decode");
+        prop_assert_eq!(framed.version, PROTO_VERSION);
+        prop_assert_eq!(framed.request_id, id);
+        prop_assert_eq!(framed.msg, req);
+    }
+
+    #[test]
+    fn response_envelope_id_roundtrips(resp in arb_response(), id in any::<u64>()) {
+        let mut body = Vec::new();
+        resp.encode_with_id(id, &mut body);
+        let framed = Response::decode_enveloped(&body).expect("decode");
+        prop_assert_eq!(framed.version, PROTO_VERSION);
+        prop_assert_eq!(framed.request_id, id);
+        prop_assert_eq!(framed.msg, resp);
+    }
+
+    #[test]
+    fn legacy_v2_frames_decode_with_id_zero(req in arb_request(), resp in arb_response()) {
+        let mut body = Vec::new();
+        req.encode_v2(&mut body);
+        let framed = Request::decode_enveloped(&body).expect("decode v2 request");
+        prop_assert_eq!(framed.version, PROTO_V2);
+        prop_assert_eq!(framed.request_id, 0);
+        prop_assert_eq!(framed.msg, req);
+
+        let mut body = Vec::new();
+        resp.encode_v2(&mut body);
+        let framed = Response::decode_enveloped(&body).expect("decode v2 response");
+        prop_assert_eq!(framed.version, PROTO_V2);
+        prop_assert_eq!(framed.request_id, 0);
+        prop_assert_eq!(framed.msg, resp);
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //!   synchronous processes, closed-form speedup.
 //! * [`pathcopy_workloads`] — the §4 Batch/Random workload generators.
 //! * [`pathcopy_server`] — the serving layer: a length-prefixed binary
-//!   wire protocol, a thread-pooled blocking TCP server generic over the
-//!   backend registry, a reusable client, and the primary-side
-//!   replication feed (`std::net` only — no async runtime).
+//!   wire protocol (v3, correlation ids for pipelining), an
+//!   event-driven nonblocking TCP server generic over the backend
+//!   registry, a pipelined session client with a blocking facade, and
+//!   the primary-side replication feed (`std::net` plus a hand-rolled
+//!   epoll/poll shim — no async runtime).
 //! * [`pathcopy_replica`] — snapshot-diff replication: replicas that
 //!   bootstrap from a chunked full sync, then follow the primary's
 //!   version feed with pruned diffs; plus the `loadgen` traffic
