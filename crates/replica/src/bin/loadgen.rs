@@ -8,7 +8,7 @@
 //!     --threads 8 --ops 100000 --backend sharded_map_8 \
 //!     --read-frac 0.9 --theta 0.99 --keys 65536 \
 //!     [--batch 8] [--workers 8] [--replicas 2] [--json out.jsonl] \
-//!     [--log-dir /var/tmp/pathcopy-log]
+//!     [--log-dir /var/tmp/pathcopy-log] [--subscribe] [--relays 2]
 //! ```
 //!
 //! `--batch n` groups updates into n-op `Batch` frames (the sharded
@@ -40,6 +40,16 @@
 //! a later run recovers the head state and continues the epoch
 //! sequence. Combine with `--replicas` to exercise the full
 //! primary → log → replica pipeline under load.
+//!
+//! `--subscribe` switches the replica tier from pull to **push**: each
+//! replica registers for the primary's feed and applies unsolicited
+//! epoch-diff frames (`PushReplica::pump`) instead of polling
+//! `PullDiff`. `--relays r` (implies `--subscribe`) inserts `r` relay
+//! nodes between the primary and the replicas: relays subscribe to the
+//! primary, re-serve the feed under the primary's epoch numbers, and
+//! the replicas subscribe to the relays round-robin — the primary's
+//! push egress then scales with `r`, not with the replica count. The
+//! final report prints per-node push/gap/resubscribe counters.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,7 +61,7 @@ use pathcopy_bench::cli::Args;
 use pathcopy_bench::table::{group_thousands, Series};
 use pathcopy_concurrent::BatchOp;
 use pathcopy_durable::{EpochLog, FeedPersister, LogConfig};
-use pathcopy_replica::cluster;
+use pathcopy_replica::{cluster, PushOutcome, PushReplica};
 use pathcopy_server::{backend, Client, FeedSink, Request, ServerConfig, Ticket};
 use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
 
@@ -66,6 +76,8 @@ fn main() {
     let batch: usize = args.get_or("batch", 1);
     let pipeline: usize = args.get_or("pipeline", 1);
     let replicas: usize = args.get_or("replicas", 0);
+    let relays: usize = args.get_or("relays", 0);
+    let subscribe = args.has_flag("subscribe") || relays > 0;
     // Connections are multiplexed on the server's event loop, so the
     // worker count sizes backend execution parallelism only — standing
     // connections (publisher, replica sync clients, idle sessions) cost
@@ -143,22 +155,64 @@ fn main() {
     // backend workers to that share so reads execute in parallel (the
     // event loop multiplexes the connections themselves).
     let readers_per_replica = threads.div_ceil(replicas.max(1)) + 1;
-    let nodes =
-        cluster(addr, replicas, &backend_name, readers_per_replica).expect("stand up replicas");
-    let read_addrs: Vec<std::net::SocketAddr> = nodes.iter().map(|n| n.server.addr()).collect();
-    let stop = AtomicBool::new(false);
-    if replicas > 0 {
-        println!(
-            "replication: {replicas} replica(s) bootstrapped at epoch {}; reads target the replicas",
-            nodes[0].replica.applied_epoch()
-        );
+    let mut nodes = Vec::new();
+    let mut push_nodes: Vec<PushReplica> = Vec::new();
+    let mut read_addrs: Vec<std::net::SocketAddr> = Vec::new();
+    if subscribe {
+        // The push tier: optional relays subscribed to the primary,
+        // then the read replicas subscribed round-robin to the relays
+        // (or straight to the primary when there are none).
+        let mut relay_addrs = Vec::new();
+        for _ in 0..relays {
+            let store = backend::by_name(&backend_name).expect("relay backend");
+            let mut relay = PushReplica::connect(addr, store).expect("stand up relay");
+            relay_addrs.push(
+                relay
+                    .serve_relay(ServerConfig::with_workers(2))
+                    .expect("bind relay listener"),
+            );
+            push_nodes.push(relay);
+        }
+        for i in 0..replicas {
+            let upstream = if relay_addrs.is_empty() {
+                addr
+            } else {
+                relay_addrs[i % relay_addrs.len()]
+            };
+            let store = backend::by_name(&backend_name).expect("replica backend");
+            let mut leaf = PushReplica::connect(upstream, store).expect("stand up push replica");
+            read_addrs.push(
+                leaf.serve_relay(ServerConfig::with_workers(readers_per_replica))
+                    .expect("bind replica listener"),
+            );
+            push_nodes.push(leaf);
+        }
+        if replicas > 0 || relays > 0 {
+            println!(
+                "replication: push mode, {relays} relay(s) + {replicas} replica(s) \
+                 bootstrapped at epoch {}; reads target the replicas",
+                push_nodes.first().map_or(0, |n| n.applied_epoch())
+            );
+        }
+    } else {
+        nodes =
+            cluster(addr, replicas, &backend_name, readers_per_replica).expect("stand up replicas");
+        read_addrs = nodes.iter().map(|n| n.server.addr()).collect();
+        if replicas > 0 {
+            println!(
+                "replication: {replicas} replica(s) bootstrapped at epoch {}; reads target the replicas",
+                nodes[0].replica.applied_epoch()
+            );
+        }
     }
+    let stop = AtomicBool::new(false);
 
     let per_thread = total_ops / threads as u64;
     let start = Instant::now();
     let mut all_latencies_ns: Vec<u64> = Vec::with_capacity(total_ops as usize);
     let mut done_ops = 0u64;
     let mut synced_nodes = Vec::new();
+    let mut pumped_nodes = Vec::new();
 
     std::thread::scope(|scope| {
         // Background replication machinery. The publisher also runs for
@@ -166,7 +220,8 @@ fn main() {
         // persists *published* epochs, so without publishes it would
         // record nothing.
         let mut sync_handles = Vec::new();
-        if replicas > 0 || log_dir.is_some() {
+        let mut pump_handles = Vec::new();
+        if replicas > 0 || relays > 0 || log_dir.is_some() {
             let stop_ref = &stop;
             scope.spawn(move || {
                 let mut publisher = Client::connect(addr).expect("publisher connect");
@@ -191,6 +246,24 @@ fn main() {
                     node
                 }));
             }
+        }
+        for node in push_nodes {
+            let stop_ref = &stop;
+            pump_handles.push(scope.spawn(move || {
+                // The push duty cycle: block on the subscription,
+                // apply, mirror. Gaps repair themselves on the next
+                // frame; the publisher keeps frames coming.
+                let mut node = node;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    match node.pump(Duration::from_millis(5)).expect("push pump") {
+                        PushOutcome::Idle
+                        | PushOutcome::Stale { .. }
+                        | PushOutcome::Pushed { .. }
+                        | PushOutcome::CaughtUp { .. } => {}
+                    }
+                }
+                node
+            }));
         }
 
         let mut handles = Vec::with_capacity(threads);
@@ -340,6 +413,9 @@ fn main() {
         for h in sync_handles {
             synced_nodes.push(h.join().expect("sync thread panicked"));
         }
+        for h in pump_handles {
+            pumped_nodes.push(h.join().expect("pump thread panicked"));
+        }
     });
 
     let elapsed = start.elapsed();
@@ -412,6 +488,23 @@ fn main() {
             s.full_syncs,
             s.full_bytes,
             s.ring_fallbacks,
+        );
+    }
+    for (i, node) in pumped_nodes.iter().enumerate() {
+        let role = if i < relays { "relay" } else { "push-replica" };
+        let p = node.push_stats();
+        let s = node.pull_stats();
+        println!(
+            "{role}[{i}]: applied_epoch={} pushes={} push_entries={} stale={} gaps={} \
+             resubscribes={} repair_diff_pulls={} full_syncs={}",
+            s.applied_epoch,
+            p.pushes_applied,
+            p.push_entries,
+            p.stale_pushes,
+            p.push_gaps,
+            p.resubscribes,
+            s.diff_pulls,
+            s.full_syncs,
         );
     }
 

@@ -67,6 +67,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod push;
 mod replica;
 
+pub use push::{PushOutcome, PushReplica, PushStats, RelayBackend};
 pub use replica::{cluster, Replica, ReplicaNode, ReplicaStats, ReplicaStatsSnapshot, SyncOutcome};

@@ -400,6 +400,19 @@ impl Replica {
     pub fn primary_wire_bytes(&self) -> pathcopy_core::ByteCountersSnapshot {
         self.client.wire_bytes()
     }
+
+    /// The upstream connection, for the push subsystem (`push.rs`) to
+    /// subscribe on the same session the sync engine pulls over.
+    pub(crate) fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Stamps the store as equal to `epoch` after the push subsystem
+    /// applied a pushed diff outside [`sync_once`](Self::sync_once).
+    pub(crate) fn record_applied(&self, epoch: Epoch) {
+        self.stats.applied_epoch.store(epoch, Relaxed);
+        self.stats.head_seen.fetch_max(epoch, Relaxed);
+    }
 }
 
 /// Convenience: a replica bound to a primary plus its own serving

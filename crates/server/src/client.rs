@@ -22,9 +22,10 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use pathcopy_concurrent::{BatchOp, BatchResult};
@@ -32,7 +33,7 @@ use pathcopy_core::{ByteCounters, ByteCountersSnapshot, DiffEntry};
 
 use crate::proto::{
     read_response_enveloped, write_request_with_id, Epoch, FeedInfo, ProtoError, Request,
-    RequestId, Response, SnapshotId, WireError, WireStats,
+    RequestId, Response, ServerGauges, SnapshotId, WireError, WireStats, PUSH_ID_BASE,
 };
 
 /// Why a client call failed — the single error surface for everything
@@ -42,6 +43,12 @@ use crate::proto::{
 pub enum ClientError {
     /// The transport failed (connect, write, or read).
     Io(io::Error),
+    /// The server closed the connection cleanly (EOF at a frame
+    /// boundary). Distinct from [`ClientError::Io`] so callers can tell
+    /// an orderly shutdown or demotion from a torn transport: a
+    /// disconnected replica reconnects and resubscribes; a transport
+    /// error is worth logging.
+    Disconnected,
     /// The response frame could not be decoded.
     Proto(ProtoError),
     /// The server answered with an error.
@@ -59,6 +66,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Busy(depth) => {
@@ -106,6 +114,10 @@ impl From<ClientError> for io::Error {
     fn from(e: ClientError) -> io::Error {
         match e {
             ClientError::Io(e) => e,
+            ClientError::Disconnected => io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                ClientError::Disconnected.to_string(),
+            ),
             other => io::Error::other(other.to_string()),
         }
     }
@@ -153,6 +165,9 @@ impl Write for CountingWriter {
 struct SessionDead {
     kind: io::ErrorKind,
     msg: String,
+    /// Clean EOF at a frame boundary: surfaced as
+    /// [`ClientError::Disconnected`], not a transport error.
+    disconnected: bool,
 }
 
 impl SessionDead {
@@ -160,6 +175,7 @@ impl SessionDead {
         SessionDead {
             kind: io::ErrorKind::UnexpectedEof,
             msg: "server closed the connection".to_owned(),
+            disconnected: true,
         }
     }
 
@@ -168,16 +184,22 @@ impl SessionDead {
             ProtoError::Io(e) => SessionDead {
                 kind: e.kind(),
                 msg: e.to_string(),
+                disconnected: false,
             },
             other => SessionDead {
                 kind: io::ErrorKind::InvalidData,
                 msg: format!("undecodable response frame: {other}"),
+                disconnected: false,
             },
         }
     }
 
     fn to_client_error(&self) -> ClientError {
-        ClientError::Io(io::Error::new(self.kind, self.msg.clone()))
+        if self.disconnected {
+            ClientError::Disconnected
+        } else {
+            ClientError::Io(io::Error::new(self.kind, self.msg.clone()))
+        }
     }
 }
 
@@ -198,6 +220,12 @@ struct SessionShared {
     pending: Mutex<Pending>,
     next_id: AtomicU64,
     wire: Arc<ByteCounters>,
+    /// Where the reader routes server-initiated [`Response::Push`]
+    /// frames (ids in the [`PUSH_ID_BASE`] namespace); `None` until
+    /// [`Session::subscribe`] installs a channel. Pushes arriving with
+    /// no channel are dropped — the server pushes to subscribers only,
+    /// so that can only happen transiently around resubscription.
+    push_tx: Mutex<Option<Sender<PushFrame>>>,
 }
 
 #[derive(Default)]
@@ -244,6 +272,7 @@ impl Session {
             pending: Mutex::new(Pending::default()),
             next_id: AtomicU64::new(1),
             wire: Arc::clone(&wire),
+            push_tx: Mutex::new(None),
         });
         let reader_shared = Arc::clone(&shared);
         let reader = thread::Builder::new()
@@ -300,6 +329,7 @@ impl Session {
                 pending.dead = Some(SessionDead {
                     kind: e.kind(),
                     msg: e.to_string(),
+                    disconnected: false,
                 });
             }
             return Err(ClientError::Io(e));
@@ -325,6 +355,109 @@ impl Session {
     pub fn wire_bytes(&self) -> ByteCountersSnapshot {
         self.shared.wire.snapshot()
     }
+
+    /// Registers this connection for push delivery: the server will
+    /// send every published epoch's diff as an unsolicited
+    /// [`Response::Push`] frame, which the reader thread routes to the
+    /// returned [`Subscription`]. `from` is the epoch already applied
+    /// locally (`0` = nothing); if it is behind the head and still
+    /// retained, one catch-up push arrives first. Returns the feed's
+    /// bounds at registration time.
+    ///
+    /// Calling this again replaces the previous subscription's channel
+    /// — what a demoted subscriber does after catching up by pull.
+    ///
+    /// # Errors
+    ///
+    /// The usual [`Session::submit`]/[`Ticket::wait`] failure modes,
+    /// plus [`ClientError::Unexpected`] if the server answers with
+    /// anything but an ack.
+    pub fn subscribe(&self, from: Epoch) -> Result<(FeedInfo, Subscription), ClientError> {
+        let (tx, rx) = mpsc::channel();
+        // Install the channel before the request is on the wire so the
+        // catch-up push (which follows the ack immediately) cannot slip
+        // past an empty slot.
+        *self.shared.push_tx.lock() = Some(tx);
+        let ticket = self.submit(&Request::SubscribePush { from })?;
+        match ticket.wait()? {
+            Response::SubscribeAck(info) => Ok((info, Subscription { rx })),
+            _ => Err(ClientError::Unexpected("SubscribePush")),
+        }
+    }
+}
+
+/// One server-initiated epoch diff, delivered through a
+/// [`Subscription`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushFrame {
+    /// The epoch this diff starts from (`0` = from the empty map).
+    /// Apply the diff **only** when this equals the locally applied
+    /// epoch; anything else is a gap — catch up by pulling.
+    pub from: Epoch,
+    /// The epoch the diff brings the subscriber up to.
+    pub epoch: Epoch,
+    /// The changes, in ascending key order.
+    pub entries: Vec<DiffEntry<i64, i64>>,
+}
+
+/// The receiving end of a push registration (see
+/// [`Session::subscribe`]): epoch diffs arrive here as the primary
+/// publishes, with no polling round trips.
+pub struct Subscription {
+    rx: Receiver<PushFrame>,
+}
+
+impl Subscription {
+    /// Waits up to `timeout` for the next push. `Ok(None)` means no
+    /// push arrived in time (the feed is simply quiet — not an error).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] once the session's reader thread
+    /// has exited — the connection is gone and no further push can
+    /// ever arrive; reconnect and resubscribe.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<PushFrame>, ClientError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Drains any push that already arrived, without blocking.
+    pub fn try_recv(&self) -> Option<PushFrame> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A session-consistency watermark the client threads through its
+/// calls: the highest epoch this session has written or observed.
+/// [`Client::insert_tracked`] (and [`Client::write_at`]) raise it to
+/// each write's watermark; [`Client::get_at`] sends it as the read's
+/// floor and raises it to the epoch the read was served at. The result
+/// is read-your-writes plus monotonic reads through **any** replica,
+/// with no sticky routing — the token, not the route, carries the
+/// session.
+///
+/// Tokens are plain values: `Copy`, comparable, and safe to hand
+/// between threads or even processes (it is just an epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SessionToken {
+    epoch: Epoch,
+}
+
+impl SessionToken {
+    /// The watermark: the oldest epoch any read through this token is
+    /// allowed to observe (`0` = unconstrained).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Raises the watermark to `epoch` (never lowers it — that is what
+    /// makes reads monotonic).
+    pub fn observe(&mut self, epoch: Epoch) {
+        self.epoch = self.epoch.max(epoch);
+    }
 }
 
 impl Drop for Session {
@@ -345,6 +478,27 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<CountingReader>) {
     let dead = loop {
         match read_response_enveloped(&mut reader) {
             Ok(Some(framed)) => {
+                if framed.request_id & PUSH_ID_BASE != 0 {
+                    // Server-initiated frame: no ticket ever carried
+                    // this id. Route it to the push channel, if one is
+                    // installed.
+                    if let Response::Push {
+                        from,
+                        epoch,
+                        entries,
+                    } = framed.msg
+                    {
+                        let tx = shared.push_tx.lock().clone();
+                        if let Some(tx) = tx {
+                            let _ = tx.send(PushFrame {
+                                from,
+                                epoch,
+                                entries,
+                            });
+                        }
+                    }
+                    continue;
+                }
                 let waiter = shared.pending.lock().waiters.remove(&framed.request_id);
                 if let Some(tx) = waiter {
                     // Capacity-1 channel, exactly one message per
@@ -367,6 +521,10 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<CountingReader>) {
     for (_, tx) in waiters {
         let _ = tx.send(Err(dead.clone()));
     }
+    // Dropping the push sender disconnects any Subscription, so a
+    // blocked `recv_timeout` learns the session is gone instead of
+    // timing out forever.
+    shared.push_tx.lock().take();
 }
 
 /// A claim on one in-flight request's eventual response. Obtained from
@@ -583,6 +741,88 @@ impl Client {
         match self.call(&Request::Publish)? {
             Response::Published(epoch) => Ok(epoch),
             _ => Err(ClientError::Unexpected("Publish")),
+        }
+    }
+
+    /// One write plus its session watermark: applies `op` on the
+    /// primary and returns the result together with the lowest epoch
+    /// guaranteed to contain the write. Feed the watermark into
+    /// [`SessionToken::observe`] and read-your-writes holds through
+    /// **any** replica serving [`get_at`](Self::get_at).
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn write_at(
+        &mut self,
+        op: BatchOp<i64, i64>,
+    ) -> Result<(BatchResult<i64>, Epoch), ClientError> {
+        match self.call(&Request::WriteAt { op })? {
+            Response::WroteAt { result, watermark } => Ok((result, watermark)),
+            _ => Err(ClientError::Unexpected("WriteAt")),
+        }
+    }
+
+    /// [`insert`](Self::insert) that also raises `token` to the write's
+    /// watermark — the session-consistent spelling of an insert.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn insert_tracked(
+        &mut self,
+        key: i64,
+        value: i64,
+        token: &mut SessionToken,
+    ) -> Result<Option<i64>, ClientError> {
+        let (result, watermark) = self.write_at(BatchOp::Insert(key, value))?;
+        token.observe(watermark);
+        match result {
+            BatchResult::Inserted(prev) => Ok(prev),
+            _ => Err(ClientError::Unexpected("WriteAt(Insert)")),
+        }
+    }
+
+    /// Session-consistent read: asks the server for `key` at or after
+    /// `token`'s watermark, waiting up to `wait_ms` for the server's
+    /// feed to reach it. On success the token is raised to the epoch
+    /// the read was served at, which is what makes successive reads
+    /// monotonic even across different replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`]`(`[`WireError::Stale`]`)` if the server
+    /// did not reach the watermark in time — the payload is the epoch
+    /// it *is* at, so the caller can fall back to the primary or retry;
+    /// plus the shared [`call`](Self::call) failure modes.
+    pub fn get_at(
+        &mut self,
+        key: i64,
+        token: &mut SessionToken,
+        wait_ms: u32,
+    ) -> Result<Option<i64>, ClientError> {
+        match self.call(&Request::GetAt {
+            key,
+            min_epoch: token.epoch(),
+            wait_ms,
+        })? {
+            Response::GotAt { value, epoch } => {
+                token.observe(epoch);
+                Ok(value)
+            }
+            _ => Err(ClientError::Unexpected("GetAt")),
+        }
+    }
+
+    /// Reads the server's operational gauges in one round trip.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn gauges(&mut self) -> Result<ServerGauges, ClientError> {
+        match self.call(&Request::Gauges)? {
+            Response::Gauges(g) => Ok(g),
+            _ => Err(ClientError::Unexpected("Gauges")),
         }
     }
 
@@ -820,24 +1060,129 @@ mod tests {
         server.shutdown();
         // Every outcome must be an error, never a hang: either the
         // submit itself fails (connection reset already observed) or
-        // the ticket resolves to an Io error.
+        // the ticket resolves to Disconnected (clean EOF at a frame
+        // boundary) or Io (reset raced the read).
         match session.submit(&Request::Get { key: 1 }) {
             Ok(ticket) => match ticket.wait() {
-                Err(ClientError::Io(_)) => {}
-                other => panic!("expected Io error, got {other:?}"),
+                Err(ClientError::Io(_) | ClientError::Disconnected) => {}
+                other => panic!("expected Io/Disconnected error, got {other:?}"),
             },
-            Err(ClientError::Io(_)) => {}
-            Err(other) => panic!("expected Io error, got {other:?}"),
+            Err(ClientError::Io(_) | ClientError::Disconnected) => {}
+            Err(other) => panic!("expected Io/Disconnected error, got {other:?}"),
         }
         // And the session stays failed-fast afterwards.
         match session.submit(&Request::Get { key: 1 }) {
-            Err(ClientError::Io(_)) => {}
+            Err(ClientError::Io(_) | ClientError::Disconnected) => {}
             Ok(ticket) => match ticket.wait() {
-                Err(ClientError::Io(_)) => {}
-                other => panic!("expected Io error, got {other:?}"),
+                Err(ClientError::Io(_) | ClientError::Disconnected) => {}
+                other => panic!("expected Io/Disconnected error, got {other:?}"),
             },
-            Err(other) => panic!("expected Io error, got {other:?}"),
+            Err(other) => panic!("expected Io/Disconnected error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn orphaned_tickets_resolve_disconnected_on_clean_eof() {
+        // A mock server that reads exactly one frame and then closes the
+        // socket cleanly — a controlled EOF at a frame boundary, unlike
+        // the real-shutdown test above where a reset can race the close.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // Read the length prefix, then the body, then hang up
+            // without answering.
+            let mut len = [0u8; 4];
+            conn.read_exact(&mut len).unwrap();
+            let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+            conn.read_exact(&mut body).unwrap();
+            drop(conn);
+        });
+        let session = Session::connect(addr).unwrap();
+        let ticket = session.submit(&Request::Get { key: 1 }).unwrap();
+        match ticket.wait() {
+            Err(ClientError::Disconnected) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // Later submits fail the same way — the session remembers why
+        // it died.
+        match session.submit(&Request::Get { key: 2 }) {
+            Err(ClientError::Disconnected) => {}
+            Ok(ticket) => match ticket.wait() {
+                Err(ClientError::Disconnected) => {}
+                other => panic!("expected Disconnected, got {other:?}"),
+            },
+            Err(other) => panic!("expected Disconnected, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn subscribers_receive_live_pushes_and_catch_up() {
+        let server = sharded_server(ServerConfig::default());
+
+        // Seed two epochs before anyone subscribes.
+        let mut writer = Client::connect(server.addr()).unwrap();
+        writer.insert(1, 10).unwrap();
+        writer.publish().unwrap(); // epoch 1: {1:10}
+        writer.insert(2, 20).unwrap();
+        let head = writer.publish().unwrap(); // epoch 2: + {2:20}
+        assert_eq!(head, 2);
+
+        // Subscribe from epoch 1: the ack is followed by one catch-up
+        // push covering exactly 1 -> 2.
+        let sub_session = Session::connect(server.addr()).unwrap();
+        let (info, sub) = sub_session.subscribe(1).unwrap();
+        assert_eq!(info.head, 2);
+        let catch_up = sub
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("catch-up push");
+        assert_eq!((catch_up.from, catch_up.epoch), (1, 2));
+        assert_eq!(catch_up.entries, vec![DiffEntry::Added(2, 20)]);
+
+        // A live publish now arrives without any request from us.
+        writer.insert(3, 30).unwrap();
+        writer.publish().unwrap();
+        let live = sub
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("live push");
+        assert_eq!((live.from, live.epoch), (2, 3));
+        assert_eq!(live.entries, vec![DiffEntry::Added(3, 30)]);
+
+        // The gauges frame sees the subscriber and both pushes.
+        let g = writer.gauges().unwrap();
+        assert_eq!(g.subscribers, 1);
+        assert!(g.pushes >= 2, "pushes gauge: {}", g.pushes);
+        assert_eq!(g.feed_head, 3);
+        assert!(g.wire_sent > 0 && g.wire_received > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_at_watermarks_cover_the_write() {
+        let server = sharded_server(ServerConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut token = SessionToken::default();
+
+        assert_eq!(client.insert_tracked(7, 70, &mut token).unwrap(), None);
+        let watermark = token.epoch();
+        assert!(watermark >= 1, "watermark must name a future epoch");
+
+        // Nothing published yet: a bounded wait below the watermark
+        // times out with the server's current epoch.
+        match client.get_at(7, &mut token, 10) {
+            Err(ClientError::Server(WireError::Stale(at))) => assert!(at < watermark),
+            other => panic!("expected Stale, got {other:?}"),
+        }
+
+        // Publishing reaches the watermark; the read now serves and
+        // raises the token to the served epoch.
+        client.publish().unwrap();
+        assert_eq!(client.get_at(7, &mut token, 1000).unwrap(), Some(70));
+        assert!(token.epoch() >= watermark);
+        server.shutdown();
     }
 
     #[test]

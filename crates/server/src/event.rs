@@ -30,20 +30,24 @@
 //! a couple of buffers — no thread — which is what lets the server
 //! hold thousands of mostly-idle subscribers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use pathcopy_core::DiffEntry;
 
+use crate::backend::ServeSnapshot;
+use crate::feed::EpochFanout;
 use crate::poll::{Interest, PollEvent, Poller};
 use crate::pool::ThreadPool;
 use crate::proto::{
-    response_frame, Request, RequestId, Response, WireError, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION,
+    response_frame, Epoch, Request, RequestId, Response, WireError, MAX_FRAME_LEN, PROTO_V2,
+    PROTO_VERSION, PUSH_ID_BASE,
 };
 use crate::server::{handle_request, Shared};
 
@@ -56,6 +60,13 @@ const READ_CHUNK: usize = 16 * 1024;
 
 /// Cap on the number of frames batched into one vectored write.
 const MAX_IOVECS: usize = 64;
+
+/// Push-delivery backpressure bound: a subscriber whose write queue
+/// already holds this many frames when another push arrives is demoted
+/// — unregistered, the frame dropped — rather than buffered without
+/// bound. A demoted subscriber discovers the gap on its next delivery
+/// (or timeout), catches up via `PullDiff`, and resubscribes.
+const PUSH_OUTQ_MAX: usize = 32;
 
 /// Event-core knobs, split out of `ServerConfig` by `spawn`.
 pub(crate) struct Tunables {
@@ -73,6 +84,10 @@ pub(crate) struct Tunables {
 struct Completion {
     conn: u64,
     frame: Vec<u8>,
+    /// Server-initiated push frame: answers no request, so it neither
+    /// decrements the connection's in-flight count nor bypasses the
+    /// subscriber backpressure bound ([`PUSH_OUTQ_MAX`]).
+    push: bool,
 }
 
 /// The worker→loop return path: a queue plus the write end of the
@@ -109,6 +124,102 @@ impl Completions {
 
     fn drain(&self) -> VecDeque<Completion> {
         std::mem::take(&mut *self.queue.lock())
+    }
+}
+
+/// The push fan-out: the set of connections registered with
+/// `SubscribePush`, fed by the feed's [`EpochFanout`] hook. Each
+/// published epoch's diff is encoded **once** and a clone of the frame
+/// is enqueued per subscriber through the normal completion path, so
+/// pushes ride the same queue + self-wake machinery replies do and the
+/// loop thread stays the only writer of any socket.
+pub(crate) struct PushHub {
+    subs: Mutex<HashSet<u64>>,
+    completions: Arc<Completions>,
+    /// Push frames enqueued to subscribers, ever.
+    pub(crate) pushes: AtomicU64,
+    /// Subscribers demoted for a full outbox, ever.
+    pub(crate) demotions: AtomicU64,
+}
+
+impl PushHub {
+    pub(crate) fn new(completions: Arc<Completions>) -> Self {
+        PushHub {
+            subs: Mutex::new(HashSet::new()),
+            completions,
+            pushes: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    fn register(&self, conn: u64) {
+        self.subs.lock().insert(conn);
+    }
+
+    fn unregister(&self, conn: u64) -> bool {
+        self.subs.lock().remove(&conn)
+    }
+
+    pub(crate) fn subscriber_count(&self) -> u64 {
+        self.subs.lock().len() as u64
+    }
+
+    /// Demotes a slow subscriber: unregisters it and counts the event.
+    fn demote(&self, conn: u64) {
+        if self.unregister(conn) {
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl EpochFanout for PushHub {
+    fn on_epoch(
+        &self,
+        from: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        epoch: Epoch,
+        snap: &Arc<dyn ServeSnapshot>,
+    ) {
+        let subs: Vec<u64> = self.subs.lock().iter().copied().collect();
+        if subs.is_empty() {
+            return;
+        }
+        let entries: Vec<DiffEntry<i64, i64>> = match prev {
+            Some(prev) => match prev.diff(snap.as_ref()) {
+                Some(entries) => entries,
+                // Undiffable neighbours (backend swapped?): subscribers
+                // will see the gap and pull.
+                None => return,
+            },
+            // First epoch this feed ever held: the whole state is the
+            // diff from the empty map.
+            None => snap
+                .range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded, 0)
+                .0
+                .into_iter()
+                .map(|(k, v)| DiffEntry::Added(k, v))
+                .collect(),
+        };
+        // Same precheck PullDiff applies: an epoch too fat for one frame
+        // is not pushed at all — subscribers catch up by pulling, which
+        // can fall back to a chunked FullSync.
+        if entries.len() as u64 * 17 > MAX_FRAME_LEN as u64 {
+            return;
+        }
+        let resp = Response::Push {
+            from,
+            epoch,
+            entries,
+        };
+        let frame = response_frame(&resp, PROTO_VERSION, PUSH_ID_BASE | epoch);
+        for conn in subs {
+            self.pushes.fetch_add(1, Ordering::Relaxed);
+            self.completions.push(Completion {
+                conn,
+                frame: frame.clone(),
+                push: true,
+            });
+        }
     }
 }
 
@@ -278,7 +389,16 @@ impl EventLoop {
             // A completion may outlive its connection (peer vanished
             // while the request ran); it is dropped here.
             if let Some(conn) = self.conns.get_mut(&completion.conn) {
-                conn.in_flight = conn.in_flight.saturating_sub(1);
+                if completion.push {
+                    // Backpressure: a subscriber that cannot drain its
+                    // queue is demoted instead of buffered forever.
+                    if conn.outq.len() >= PUSH_OUTQ_MAX || conn.closing {
+                        self.shared.push.demote(completion.conn);
+                        continue;
+                    }
+                } else {
+                    conn.in_flight = conn.in_flight.saturating_sub(1);
+                }
                 conn.outq.push_back(completion.frame);
                 touched.push(completion.conn);
             }
@@ -317,6 +437,7 @@ impl EventLoop {
             alive = false; // everything owed has been written
         }
         if !alive {
+            self.shared.push.unregister(token);
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             drop(conn); // closes the socket
             self.publish_conn_gauge();
@@ -361,6 +482,7 @@ impl EventLoop {
                     return true;
                 }
                 Ok(n) => {
+                    self.shared.wire.add_received(n as u64);
                     conn.rbuf.extend_from_slice(&chunk[..n]);
                     self.parse_frames(token, conn);
                     if conn.closing {
@@ -435,6 +557,10 @@ impl EventLoop {
         request_id: RequestId,
         req: Request,
     ) {
+        if let Request::SubscribePush { from } = req {
+            self.subscribe_push(token, conn, version, request_id, from);
+            return;
+        }
         let depth = self.tunables.queue_depth.max(1);
         if conn.in_flight >= depth {
             self.shared.shed.fetch_add(1, Ordering::Relaxed);
@@ -453,8 +579,68 @@ impl EventLoop {
             completions.push(Completion {
                 conn: token,
                 frame: response_frame(&resp, version, request_id),
+                push: false,
             });
         });
+    }
+
+    /// Registers a connection for push delivery. Runs inline on the
+    /// loop thread — it must, because registration has to be ordered
+    /// against the fan-out: the ack and any catch-up frame are queued
+    /// *before* the first live push for this connection can land (live
+    /// pushes travel the completion queue, which is drained after
+    /// dispatch).
+    fn subscribe_push(
+        &mut self,
+        token: u64,
+        conn: &mut Conn,
+        version: u8,
+        request_id: RequestId,
+        from: Epoch,
+    ) {
+        if version == PROTO_V2 {
+            // A v2 peer cannot tell an unsolicited frame from a reply.
+            conn.outq.push_back(response_frame(
+                &Response::Error(WireError::Malformed),
+                version,
+                request_id,
+            ));
+            return;
+        }
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.push.register(token);
+        let info = self.shared.feed.info();
+        conn.outq.push_back(response_frame(
+            &Response::SubscribeAck(info),
+            version,
+            request_id,
+        ));
+        // Catch-up: a subscriber registering behind the head gets one
+        // synthetic push covering `from → head`, provided `from` is
+        // still retained and the diff fits a frame. Otherwise it will
+        // notice the gap on its first live push and pull.
+        if from == 0 || from >= info.head {
+            return;
+        }
+        let (Some(from_snap), Some((head, head_snap))) =
+            (self.shared.feed.get(from), self.shared.feed.head())
+        else {
+            return;
+        };
+        if let Some(entries) = from_snap.diff(head_snap.as_ref()) {
+            if entries.len() as u64 * 17 <= MAX_FRAME_LEN as u64 {
+                self.shared.push.pushes.fetch_add(1, Ordering::Relaxed);
+                conn.outq.push_back(response_frame(
+                    &Response::Push {
+                        from,
+                        epoch: head,
+                        entries,
+                    },
+                    PROTO_VERSION,
+                    PUSH_ID_BASE | head,
+                ));
+            }
+        }
     }
 
     /// Writes as much of the connection's queue as the socket takes,
@@ -473,6 +659,7 @@ impl EventLoop {
             match (&conn.stream).write_vectored(&slices) {
                 Ok(0) => return false,
                 Ok(mut n) => {
+                    self.shared.wire.add_sent(n as u64);
                     while n > 0 {
                         let front_left =
                             conn.outq.front().expect("bytes written").len() - conn.out_off;

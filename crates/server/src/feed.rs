@@ -18,12 +18,29 @@
 //! [`FullSync`](crate::proto::Request::FullSync).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use crate::backend::ServeSnapshot;
 use crate::proto::{Epoch, FeedInfo};
+
+/// The push subsystem's internal publication hook. Unlike [`FeedSink`]
+/// it also receives the **epoch number** the diff starts from, and it
+/// tolerates gaps in the epoch sequence (a relay feed mirrored with
+/// [`VersionFeed::publish_at`] skips epochs its upstream pushed past
+/// it). Fired under the feed lock, after the sink.
+pub(crate) trait EpochFanout: Send + Sync + 'static {
+    /// Called once per epoch that lands in the feed. `from` is the
+    /// epoch `prev` belongs to (`0` when `prev` is `None`).
+    fn on_epoch(
+        &self,
+        from: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        epoch: Epoch,
+        snap: &Arc<dyn ServeSnapshot>,
+    );
+}
 
 /// An observer of epoch publication, called by [`VersionFeed::publish`]
 /// for every new epoch — the primary's durability hook.
@@ -65,15 +82,20 @@ pub struct VersionFeed {
     state: Mutex<FeedState>,
     capacity: usize,
     sink: Option<Arc<dyn FeedSink>>,
+    fanout: OnceLock<Arc<dyn EpochFanout>>,
 }
 
 struct FeedState {
     /// `(epoch, snapshot)` pairs in ascending epoch order.
     ring: VecDeque<(Epoch, Arc<dyn ServeSnapshot>)>,
     next: Epoch,
-    /// The snapshot of epoch `next - 1`, kept one beat past its ring
-    /// retirement so the sink always sees a correct `prev`.
+    /// The most recently published snapshot, kept one beat past its
+    /// ring retirement so the sink always sees a correct `prev`.
     prev: Option<Arc<dyn ServeSnapshot>>,
+    /// The epoch `prev` belongs to (`0` = none yet). Equal to
+    /// `next - 1` on a primary, but a relay feed mirrored with
+    /// [`VersionFeed::publish_at`] can have gaps.
+    prev_epoch: Epoch,
 }
 
 impl VersionFeed {
@@ -95,9 +117,11 @@ impl VersionFeed {
                 ring: VecDeque::new(),
                 next: start.max(1),
                 prev: None,
+                prev_epoch: 0,
             }),
             capacity: capacity.max(1),
             sink,
+            fanout: OnceLock::new(),
         }
     }
 
@@ -106,24 +130,87 @@ impl VersionFeed {
         self.capacity
     }
 
+    /// The epoch the next publish will be assigned. A server reads this
+    /// right after applying a write to learn the write's visibility
+    /// watermark: the first epoch whose snapshot must contain it.
+    pub fn next_epoch(&self) -> Epoch {
+        self.state.lock().next
+    }
+
+    /// Installs the push subsystem's fan-out hook. One shot: a second
+    /// call is ignored. Set during server spawn, before any publish.
+    pub(crate) fn set_fanout(&self, fanout: Arc<dyn EpochFanout>) {
+        let _ = self.fanout.set(fanout);
+    }
+
     /// Publishes `snap` as the next epoch, retiring the oldest retained
     /// epoch if the ring is full. Returns the new epoch.
     ///
     /// If the feed has a [`FeedSink`], it observes the epoch before
     /// `publish` returns (see the trait docs for the ordering contract).
     pub fn publish(&self, snap: Arc<dyn ServeSnapshot>) -> Epoch {
+        self.publish_with(|| snap)
+    }
+
+    /// Publishes the snapshot `take` returns as the next epoch, taking
+    /// the snapshot **under the feed lock**. This closes the
+    /// snapshot-then-number race of `publish(backend.snapshot())`:
+    /// there, a write can land between the snapshot and the lock, so an
+    /// epoch number read *after* that write could name a snapshot from
+    /// *before* it. Watermark-carrying writes ([`Request::WriteAt`](
+    /// crate::proto::Request::WriteAt)) depend on the closed ordering:
+    /// every epoch assigned after a write's watermark read contains the
+    /// write.
+    pub fn publish_with(&self, take: impl FnOnce() -> Arc<dyn ServeSnapshot>) -> Epoch {
         let mut state = self.state.lock();
+        let snap = take();
         let epoch = state.next;
         state.next += 1;
         state.ring.push_back((epoch, Arc::clone(&snap)));
         while state.ring.len() > self.capacity {
             state.ring.pop_front();
         }
+        let from = state.prev_epoch;
+        state.prev_epoch = epoch;
         let prev = state.prev.replace(Arc::clone(&snap));
         if let Some(sink) = &self.sink {
             sink.on_publish(epoch, prev.as_ref(), &snap);
         }
+        if let Some(fanout) = self.fanout.get() {
+            fanout.on_epoch(from, prev.as_ref(), epoch, &snap);
+        }
         epoch
+    }
+
+    /// Mirrors an epoch published elsewhere into this feed under its
+    /// **original number** — what a relay does after applying an
+    /// upstream push, so its own subscribers and watermarked reads see
+    /// the primary's epoch sequence. Returns `false` (and changes
+    /// nothing) if `epoch` is behind this feed's sequence — a late or
+    /// duplicate delivery.
+    ///
+    /// The epoch sequence may skip numbers (the upstream pushed past
+    /// this relay and it caught up by diff), so the [`FeedSink`] — whose
+    /// contract promises gap-free adjacent epochs — is **not** fired;
+    /// only the push fan-out, which carries the `from` epoch explicitly,
+    /// observes mirrored publishes.
+    pub fn publish_at(&self, epoch: Epoch, snap: Arc<dyn ServeSnapshot>) -> bool {
+        let mut state = self.state.lock();
+        if epoch < state.next {
+            return false;
+        }
+        state.next = epoch + 1;
+        state.ring.push_back((epoch, Arc::clone(&snap)));
+        while state.ring.len() > self.capacity {
+            state.ring.pop_front();
+        }
+        let from = state.prev_epoch;
+        state.prev_epoch = epoch;
+        let prev = state.prev.replace(Arc::clone(&snap));
+        if let Some(fanout) = self.fanout.get() {
+            fanout.on_epoch(from, prev.as_ref(), epoch, &snap);
+        }
+        true
     }
 
     /// The feed's bounds (`head`/`oldest` are `0` while nothing is
@@ -214,6 +301,34 @@ mod tests {
         let seen = recorder.0.lock().clone();
         assert_eq!(seen, vec![(7, None, 1), (8, Some(1), 2), (9, Some(2), 3)]);
         assert_eq!(feed.info().oldest, 9, "capacity 1 keeps only the head");
+    }
+
+    #[test]
+    fn publish_at_mirrors_foreign_epochs_and_rejects_stale_ones() {
+        let b = ShardedServe::with_shards(2);
+        let feed = VersionFeed::new(4);
+        assert_eq!(feed.next_epoch(), 1);
+        b.insert(1, 10);
+        assert!(feed.publish_at(5, snap_of(&b)), "fresh epoch lands");
+        assert_eq!(feed.info().head, 5);
+        assert_eq!(feed.next_epoch(), 6);
+        assert!(!feed.publish_at(5, snap_of(&b)), "duplicate rejected");
+        assert!(!feed.publish_at(3, snap_of(&b)), "stale rejected");
+        b.insert(2, 20);
+        assert!(feed.publish_at(9, snap_of(&b)), "gaps are fine");
+        assert_eq!((feed.info().oldest, feed.info().head), (5, 9));
+        // Ordinary publish continues the mirrored sequence.
+        assert_eq!(feed.publish(snap_of(&b)), 10);
+    }
+
+    #[test]
+    fn publish_with_snapshots_under_the_lock() {
+        let b = ShardedServe::with_shards(2);
+        let feed = VersionFeed::new(4);
+        b.insert(7, 70);
+        let epoch = feed.publish_with(|| b.snapshot());
+        assert_eq!(epoch, 1);
+        assert_eq!(feed.get(epoch).unwrap().get(7), Some(70));
     }
 
     #[test]

@@ -71,10 +71,10 @@ pub mod proto;
 pub mod server;
 
 pub use backend::{ServeBackend, ServeSnapshot};
-pub use client::{Client, ClientError, Session, Ticket};
+pub use client::{Client, ClientError, PushFrame, Session, SessionToken, Subscription, Ticket};
 pub use feed::{FeedSink, VersionFeed};
 pub use proto::{
-    Epoch, FeedInfo, Framed, ProtoError, Request, RequestId, Response, SnapshotId, WireError,
-    WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION,
+    Epoch, FeedInfo, Framed, ProtoError, Request, RequestId, Response, ServerGauges, SnapshotId,
+    WireError, WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION, PUSH_ID_BASE,
 };
 pub use server::{spawn, ServerConfig, ServerConfigBuilder, ServerHandle};

@@ -58,8 +58,18 @@ pub const PROTO_V2: u8 = 2;
 
 /// Correlation id carried in every v3 frame. Ids are chosen by the
 /// client (monotonically, per connection) and echoed verbatim by the
-/// server; `0` is what a legacy v2 frame decodes to.
+/// server; `0` is what a legacy v2 frame decodes to. Ids with
+/// [`PUSH_ID_BASE`] set are reserved for server-initiated frames.
 pub type RequestId = u64;
+
+/// The server-initiated half of the id space. A [`Response::Push`]
+/// answers no request, so it cannot echo a client-chosen id; instead it
+/// carries `PUSH_ID_BASE | epoch`, which can never collide with a
+/// ticket because clients allocate ids by incrementing from `1` (an
+/// id with the top bit set would take ~292 years of back-to-back
+/// requests to reach). A session's demux loop routes ids in this
+/// namespace to its push channel instead of a waiter.
+pub const PUSH_ID_BASE: RequestId = 1 << 63;
 
 /// A decoded frame body together with its envelope fields — which
 /// protocol version it arrived in and its correlation id. Produced by
@@ -206,6 +216,50 @@ pub enum Request {
         /// server clamps it to [`SYNC_PAGE_MAX_ENTRIES`].
         limit: u32,
     },
+    /// Register this connection for push delivery: from now on the
+    /// server sends every published epoch's diff as an unsolicited
+    /// [`Response::Push`] frame (id `PUSH_ID_BASE | epoch`). Answered
+    /// with [`Response::SubscribeAck`]; if `from` names a retained
+    /// epoch behind the head, one catch-up `Push` covering
+    /// `from → head` precedes any live pushes. Requires the v3
+    /// envelope — a v2 peer has no way to tell a push from a reply,
+    /// so the server refuses with [`WireError::Malformed`].
+    SubscribePush {
+        /// The epoch the subscriber has applied (`0` = nothing yet).
+        from: Epoch,
+    },
+    /// Session-consistent point read: serve `key` only from an epoch
+    /// at or past `min_epoch`, waiting up to `wait_ms` for the feed to
+    /// catch up. Replied with [`Response::GotAt`] once the feed head
+    /// reaches the watermark, or [`WireError::Stale`] (carrying the
+    /// current head) if it does not in time — the client can then
+    /// retry here or fall back to the primary. This is how a client
+    /// gets read-your-writes through any replica, no sticky routing.
+    GetAt {
+        /// The key to read.
+        key: i64,
+        /// The caller's session watermark: the oldest epoch this read
+        /// is allowed to observe (`0` = any).
+        min_epoch: Epoch,
+        /// How long the server may hold the read waiting for the feed
+        /// to reach `min_epoch` (clamped server-side; `0` = don't
+        /// wait, answer immediately).
+        wait_ms: u32,
+    },
+    /// A single write that reports the epoch watermark it is visible
+    /// at, so the writer can thread the watermark through subsequent
+    /// [`Request::GetAt`] reads. Replied with [`Response::WroteAt`].
+    WriteAt {
+        /// The write to apply ([`BatchOp::Get`] is permitted but
+        /// pointless — use [`Request::GetAt`]).
+        op: BatchOp<i64, i64>,
+    },
+    /// Read the server's process gauges — request/shed/connection
+    /// counters, wire byte counters, and push fan-out counters —
+    /// without touching the backend. Replied with
+    /// [`Response::Gauges`]. This is the scrape endpoint loadgen and
+    /// tests use instead of process-local handles.
+    Gauges,
 }
 
 /// A server-to-client message; variants mirror [`Request`] one-to-one
@@ -266,6 +320,47 @@ pub enum Response {
         /// `true` if this page ends the epoch's state.
         done: bool,
     },
+    /// Reply to [`Request::SubscribePush`]: the feed's bounds at
+    /// registration time. Any catch-up or live [`Response::Push`]
+    /// frames follow on the same connection.
+    SubscribeAck(FeedInfo),
+    /// A server-initiated frame (no request answers it; its id is
+    /// `PUSH_ID_BASE | epoch`): the diff between two published epochs,
+    /// pushed to every subscriber when `epoch` is published. Apply it
+    /// only when `from` equals your applied epoch — a diff applied
+    /// over any other base silently corrupts keys the diff reverts —
+    /// otherwise treat the gap as lag and catch up via
+    /// [`Request::PullDiff`].
+    Push {
+        /// The epoch this diff starts from (`0` = from the empty map).
+        from: Epoch,
+        /// The epoch this diff brings a subscriber up to.
+        epoch: Epoch,
+        /// The changes, in ascending key order.
+        entries: Vec<DiffEntry<i64, i64>>,
+    },
+    /// Reply to [`Request::GetAt`]: the value as of an epoch at or
+    /// past the requested watermark.
+    GotAt {
+        /// The value, if present.
+        value: Option<i64>,
+        /// The feed head the read was served at — the caller's new
+        /// session watermark (monotonic reads: thread it into the next
+        /// [`Request::GetAt`]).
+        epoch: Epoch,
+    },
+    /// Reply to [`Request::WriteAt`]: the write's result plus the
+    /// epoch watermark that makes it visible.
+    WroteAt {
+        /// The result of the single op.
+        result: BatchResult<i64>,
+        /// The first epoch that will contain this write once
+        /// published — read-your-writes holds on any replica whose
+        /// feed has reached it.
+        watermark: Epoch,
+    },
+    /// Reply to [`Request::Gauges`].
+    Gauges(ServerGauges),
     /// The request could not be served.
     Error(WireError),
 }
@@ -305,6 +400,34 @@ pub struct WireStats {
     pub snapshots: u64,
 }
 
+/// Server process gauges carried by [`Response::Gauges`] — scrapeable
+/// counters about the serving process itself, as opposed to
+/// [`WireStats`] which describes the backend map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerGauges {
+    /// Requests executed (successful or errored), excluding shed ones.
+    pub requests: u64,
+    /// Requests shed by per-connection admission control
+    /// ([`WireError::Busy`]).
+    pub requests_shed: u64,
+    /// Connections currently open.
+    pub open_conns: u64,
+    /// Bytes the server has written to all connections.
+    pub wire_sent: u64,
+    /// Bytes the server has read from all connections.
+    pub wire_received: u64,
+    /// Connections currently registered for push delivery.
+    pub subscribers: u64,
+    /// Push frames enqueued to subscribers since startup.
+    pub pushes: u64,
+    /// Subscribers demoted (unregistered) because their outbox was
+    /// full when a push arrived; they must catch up via
+    /// [`Request::PullDiff`] and resubscribe.
+    pub push_demotions: u64,
+    /// Newest published epoch of the version feed (`0` = none).
+    pub feed_head: u64,
+}
+
 /// Error replies a server can send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
@@ -335,6 +458,11 @@ pub enum WireError {
     /// unaffected and the connection stays usable — wait for some
     /// replies, then resubmit.
     Busy(u64),
+    /// A [`Request::GetAt`] watermark was not reached within its wait
+    /// budget; the payload is the feed head the server is actually at.
+    /// The read was **not** served — retry here later, or read from a
+    /// fresher replica or the primary.
+    Stale(Epoch),
 }
 
 impl std::fmt::Display for WireError {
@@ -360,6 +488,12 @@ impl std::fmt::Display for WireError {
                 write!(
                     f,
                     "connection at its queue-depth bound ({depth} in flight); request shed"
+                )
+            }
+            WireError::Stale(head) => {
+                write!(
+                    f,
+                    "feed still behind the requested watermark (head: {head}); read not served"
                 )
             }
         }
@@ -798,6 +932,25 @@ impl Request {
                 put_opt_i64(out, *after);
                 put_u32(out, *limit);
             }
+            Request::SubscribePush { from } => {
+                out.push(15);
+                put_u64(out, *from);
+            }
+            Request::GetAt {
+                key,
+                min_epoch,
+                wait_ms,
+            } => {
+                out.push(16);
+                put_i64(out, *key);
+                put_u64(out, *min_epoch);
+                put_u32(out, *wait_ms);
+            }
+            Request::WriteAt { op } => {
+                out.push(17);
+                put_batch_op(out, op);
+            }
+            Request::Gauges => out.push(18),
         }
     }
 
@@ -882,6 +1035,16 @@ impl Request {
                 after: cur.opt_i64()?,
                 limit: cur.u32()?,
             },
+            15 => Request::SubscribePush { from: cur.u64()? },
+            16 => Request::GetAt {
+                key: cur.i64()?,
+                min_epoch: cur.u64()?,
+                wait_ms: cur.u32()?,
+            },
+            17 => Request::WriteAt {
+                op: cur.batch_op()?,
+            },
+            18 => Request::Gauges,
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "request",
@@ -1005,6 +1168,10 @@ impl Response {
                         out.push(6);
                         put_u64(out, *depth);
                     }
+                    WireError::Stale(head) => {
+                        out.push(7);
+                        put_u64(out, *head);
+                    }
                 }
             }
             Response::BatchAborted(failed) => {
@@ -1045,6 +1212,47 @@ impl Response {
                     put_i64(out, *v);
                 }
                 put_bool(out, *done);
+            }
+            Response::SubscribeAck(info) => {
+                out.push(17);
+                put_u64(out, info.head);
+                put_u64(out, info.oldest);
+                put_u64(out, info.capacity);
+            }
+            Response::Push {
+                from,
+                epoch,
+                entries,
+            } => {
+                out.push(18);
+                put_u64(out, *from);
+                put_u64(out, *epoch);
+                put_u32(out, entries.len() as u32);
+                for e in entries {
+                    put_diff_entry(out, e);
+                }
+            }
+            Response::GotAt { value, epoch } => {
+                out.push(19);
+                put_opt_i64(out, *value);
+                put_u64(out, *epoch);
+            }
+            Response::WroteAt { result, watermark } => {
+                out.push(20);
+                put_batch_result(out, result);
+                put_u64(out, *watermark);
+            }
+            Response::Gauges(g) => {
+                out.push(21);
+                put_u64(out, g.requests);
+                put_u64(out, g.requests_shed);
+                put_u64(out, g.open_conns);
+                put_u64(out, g.wire_sent);
+                put_u64(out, g.wire_received);
+                put_u64(out, g.subscribers);
+                put_u64(out, g.pushes);
+                put_u64(out, g.push_demotions);
+                put_u64(out, g.feed_head);
             }
         }
     }
@@ -1136,6 +1344,7 @@ impl Response {
                 4 => WireError::SnapshotLimit(cur.u64()?),
                 5 => WireError::EpochRetired(cur.u64()?),
                 6 => WireError::Busy(cur.u64()?),
+                7 => WireError::Stale(cur.u64()?),
                 tag => return Err(ProtoError::BadTag { what: "error", tag }),
             }),
             12 => {
@@ -1174,6 +1383,44 @@ impl Response {
                     done: cur.bool()?,
                 }
             }
+            17 => Response::SubscribeAck(FeedInfo {
+                head: cur.u64()?,
+                oldest: cur.u64()?,
+                capacity: cur.u64()?,
+            }),
+            18 => {
+                let from = cur.u64()?;
+                let epoch = cur.u64()?;
+                let n = cur.seq_len(17)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(cur.diff_entry()?);
+                }
+                Response::Push {
+                    from,
+                    epoch,
+                    entries,
+                }
+            }
+            19 => Response::GotAt {
+                value: cur.opt_i64()?,
+                epoch: cur.u64()?,
+            },
+            20 => Response::WroteAt {
+                result: cur.batch_result()?,
+                watermark: cur.u64()?,
+            },
+            21 => Response::Gauges(ServerGauges {
+                requests: cur.u64()?,
+                requests_shed: cur.u64()?,
+                open_conns: cur.u64()?,
+                wire_sent: cur.u64()?,
+                wire_received: cur.u64()?,
+                subscribers: cur.u64()?,
+                pushes: cur.u64()?,
+                push_demotions: cur.u64()?,
+                feed_head: cur.u64()?,
+            }),
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "response",
@@ -1469,6 +1716,24 @@ mod tests {
                 after: Some(-3),
                 limit: 4096,
             },
+            Request::SubscribePush { from: 0 },
+            Request::SubscribePush { from: 41 },
+            Request::GetAt {
+                key: -9,
+                min_epoch: 17,
+                wait_ms: 250,
+            },
+            Request::WriteAt {
+                op: BatchOp::Insert(5, 50),
+            },
+            Request::WriteAt {
+                op: BatchOp::Cas {
+                    key: 6,
+                    expected: Some(1),
+                    new: None,
+                },
+            },
+            Request::Gauges,
         ];
         for req in reqs {
             assert_eq!(roundtrip_request(&req), req);
@@ -1530,6 +1795,44 @@ mod tests {
                 entries: vec![(1, 10), (2, 20)],
                 done: true,
             },
+            Response::SubscribeAck(FeedInfo {
+                head: 7,
+                oldest: 3,
+                capacity: 8,
+            }),
+            Response::Push {
+                from: 6,
+                epoch: 7,
+                entries: vec![DiffEntry::Added(1, 10), DiffEntry::Changed(2, 20, 21)],
+            },
+            Response::Push {
+                from: 0,
+                epoch: 1,
+                entries: vec![],
+            },
+            Response::GotAt {
+                value: Some(-4),
+                epoch: 19,
+            },
+            Response::GotAt {
+                value: None,
+                epoch: 0,
+            },
+            Response::WroteAt {
+                result: BatchResult::Inserted(None),
+                watermark: 21,
+            },
+            Response::Gauges(ServerGauges {
+                requests: 1,
+                requests_shed: 2,
+                open_conns: 3,
+                wire_sent: 4,
+                wire_received: 5,
+                subscribers: 6,
+                pushes: 7,
+                push_demotions: 8,
+                feed_head: 9,
+            }),
             Response::Error(WireError::UnknownSnapshot(77)),
             Response::Error(WireError::SnapshotMismatch),
             Response::Error(WireError::Malformed),
@@ -1537,6 +1840,7 @@ mod tests {
             Response::Error(WireError::SnapshotLimit(512)),
             Response::Error(WireError::EpochRetired(4)),
             Response::Error(WireError::Busy(64)),
+            Response::Error(WireError::Stale(13)),
         ];
         for resp in resps {
             assert_eq!(roundtrip_response(&resp), resp);
@@ -1662,6 +1966,26 @@ mod tests {
         assert_eq!(framed.msg, Response::Error(WireError::TooLarge));
         let len = u32::from_le_bytes(frame[..4].try_into().unwrap());
         assert_eq!(len as usize, frame.len() - 4);
+    }
+
+    #[test]
+    fn push_ids_live_outside_the_client_namespace() {
+        // Clients allocate ids upward from 1; push ids set the top bit,
+        // so the two namespaces can never collide in practice.
+        for epoch in [1u64, 42, u64::MAX >> 1] {
+            let id = PUSH_ID_BASE | epoch;
+            assert_ne!(id & PUSH_ID_BASE, 0);
+            assert_eq!(id & !PUSH_ID_BASE, epoch);
+            let mut body = Vec::new();
+            Response::Push {
+                from: epoch - 1,
+                epoch,
+                entries: vec![],
+            }
+            .encode_with_id(id, &mut body);
+            let framed = Response::decode_enveloped(&body).unwrap();
+            assert_eq!(framed.request_id, id);
+        }
     }
 
     #[test]

@@ -34,12 +34,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use pathcopy_concurrent::{BatchOp, BatchResult};
+use pathcopy_core::{ByteCounters, ByteCountersSnapshot};
 
 use crate::backend::{ServeBackend, ServeSnapshot};
-use crate::event::{Completions, EventLoop, Tunables};
+use crate::event::{Completions, EventLoop, PushHub, Tunables};
 use crate::feed::{FeedSink, VersionFeed};
 use crate::proto::{
-    Epoch, Request, Response, SnapshotId, WireError, WireStats, MAX_FRAME_LEN,
+    Epoch, Request, Response, ServerGauges, SnapshotId, WireError, WireStats, MAX_FRAME_LEN,
     SYNC_PAGE_MAX_ENTRIES,
 };
 
@@ -235,13 +237,37 @@ pub(crate) struct Shared {
     /// The replication feed: epoch-keyed recent versions replicas sync
     /// from ([`Request::Publish`]/[`Request::PullDiff`]/
     /// [`Request::FullSync`]).
-    feed: VersionFeed,
-    requests: AtomicU64,
+    pub(crate) feed: VersionFeed,
+    pub(crate) requests: AtomicU64,
     /// Requests refused at admission control with [`WireError::Busy`].
     pub(crate) shed: AtomicU64,
     /// Gauge of currently open connections, maintained by the loop.
     pub(crate) open_conns: AtomicU64,
+    /// Server-side wire byte counters, maintained by the loop on every
+    /// socket read and write.
+    pub(crate) wire: ByteCounters,
+    /// The push fan-out registry; also the feed's [`EpochFanout`](
+    /// crate::feed) hook.
+    pub(crate) push: Arc<PushHub>,
     pub(crate) stop: AtomicBool,
+}
+
+impl Shared {
+    /// Assembles the scrapeable process gauges ([`Request::Gauges`]).
+    fn gauges(&self) -> ServerGauges {
+        let wire = self.wire.snapshot();
+        ServerGauges {
+            requests: self.requests.load(Ordering::Relaxed),
+            requests_shed: self.shed.load(Ordering::Relaxed),
+            open_conns: self.open_conns.load(Ordering::Relaxed),
+            wire_sent: wire.sent,
+            wire_received: wire.received,
+            subscribers: self.push.subscriber_count(),
+            pushes: self.push.pushes.load(Ordering::Relaxed),
+            push_demotions: self.push.demotions.load(Ordering::Relaxed),
+            feed_head: self.feed.info().head,
+        }
+    }
 }
 
 /// A running server; dropping it (or calling
@@ -280,6 +306,13 @@ pub struct ServerHandle {
 pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr)?;
     let addr = listener.local_addr()?;
+    // The self-wake pipe: pool workers (and shutdown) poke the write
+    // end, the event loop polls the read end.
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    let handle_wake = wake_tx.try_clone()?;
+    let completions = Arc::new(Completions::new(wake_tx));
+    let push = Arc::new(PushHub::new(Arc::clone(&completions)));
     let shared = Arc::new(Shared {
         backend,
         snapshots: Mutex::new(HashMap::new()),
@@ -289,14 +322,11 @@ pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result
         requests: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         open_conns: AtomicU64::new(0),
+        wire: ByteCounters::new(),
+        push: Arc::clone(&push),
         stop: AtomicBool::new(false),
     });
-    // The self-wake pipe: pool workers (and shutdown) poke the write
-    // end, the event loop polls the read end.
-    let (wake_tx, wake_rx) = UnixStream::pair()?;
-    wake_tx.set_nonblocking(true)?;
-    let handle_wake = wake_tx.try_clone()?;
-    let completions = Arc::new(Completions::new(wake_tx));
+    shared.feed.set_fanout(push);
     let event_loop = EventLoop::new(
         listener,
         wake_rx,
@@ -349,6 +379,33 @@ impl ServerHandle {
     /// The served engine, for in-process inspection (demos, tests).
     pub fn backend(&self) -> &dyn ServeBackend {
         self.shared.backend.as_ref()
+    }
+
+    /// Server-side wire byte counters: everything written to and read
+    /// from all connections. The exact-accounting counterpart of
+    /// [`Client::wire_bytes`](crate::client::Client::wire_bytes) — the
+    /// fan-out tests prove primary egress independent of leaf count by
+    /// comparing these across topologies.
+    pub fn wire_bytes(&self) -> ByteCountersSnapshot {
+        self.shared.wire.snapshot()
+    }
+
+    /// The scrapeable process gauges, identical to what
+    /// [`Request::Gauges`] answers over the wire.
+    pub fn gauges(&self) -> ServerGauges {
+        self.shared.gauges()
+    }
+
+    /// Mirrors the served backend's **current** state into the feed
+    /// under `epoch` — an upstream's epoch number, not this feed's next
+    /// in sequence. This is how a relay republishes each applied epoch
+    /// so its own subscribers and watermarked reads see the primary's
+    /// epoch sequence; see [`VersionFeed::publish_at`]. Returns `false`
+    /// if `epoch` is already behind this feed.
+    pub fn publish_at(&self, epoch: Epoch) -> bool {
+        self.shared
+            .feed
+            .publish_at(epoch, self.shared.backend.snapshot())
     }
 
     /// Stops the event loop, closes every connection, joins the worker
@@ -454,7 +511,13 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
         Request::Release { snapshot } => {
             Response::Released(shared.snapshots.lock().remove(&snapshot).is_some())
         }
-        Request::Publish => Response::Published(shared.feed.publish(shared.backend.snapshot())),
+        // The snapshot is taken under the feed lock (`publish_with`),
+        // not before it: an epoch number observed after a write
+        // completes must name a snapshot containing that write, or
+        // WriteAt watermarks would lie.
+        Request::Publish => {
+            Response::Published(shared.feed.publish_with(|| shared.backend.snapshot()))
+        }
         Request::Subscribe => Response::FeedInfo(shared.feed.info()),
         Request::PullDiff { from } => {
             let Some(from_snap) = shared.feed.get(from) else {
@@ -523,6 +586,52 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
                 done: complete,
             }
         }
+        // Registration is connection state, so SubscribePush is handled
+        // inline by the event loop and never reaches a worker; seeing it
+        // here means a caller bypassed the loop.
+        Request::SubscribePush { .. } => Response::Error(WireError::Malformed),
+        Request::GetAt {
+            key,
+            min_epoch,
+            wait_ms,
+        } => {
+            // Bounded wait for the feed to reach the caller's session
+            // watermark. The wait parks a pool worker, so it is clamped
+            // hard; a load-bearing deployment sizes `workers` for it.
+            let deadline = std::time::Instant::now()
+                + std::time::Duration::from_millis(wait_ms.min(1000) as u64);
+            loop {
+                let head = shared.feed.info().head;
+                if head >= min_epoch {
+                    return Response::GotAt {
+                        value: shared.backend.get(key),
+                        epoch: head,
+                    };
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Response::Error(WireError::Stale(head));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        Request::WriteAt { op } => {
+            let result = match op {
+                BatchOp::Get(k) => BatchResult::Got(shared.backend.get(k)),
+                BatchOp::Insert(k, v) => BatchResult::Inserted(shared.backend.insert(k, v)),
+                BatchOp::Remove(k) => BatchResult::Removed(shared.backend.remove(k)),
+                BatchOp::Cas { key, expected, new } => {
+                    BatchResult::Cas(shared.backend.cas(key, expected, new))
+                }
+            };
+            // Read *after* the write: `publish_with` snapshots under
+            // the feed lock, so every epoch from this number on
+            // contains the write — the session watermark.
+            Response::WroteAt {
+                result,
+                watermark: shared.feed.next_epoch(),
+            }
+        }
+        Request::Gauges => Response::Gauges(shared.gauges()),
         Request::Stats => {
             let s = shared.backend.stats();
             Response::Stats(WireStats {

@@ -9,9 +9,10 @@
 
 use std::ops::Bound;
 
+use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_server::proto::{
-    FeedInfo, Request, Response, WireError, WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION,
-    SYNC_PAGE_MAX_ENTRIES,
+    FeedInfo, Request, Response, ServerGauges, WireError, WireStats, MAX_FRAME_LEN, PROTO_V2,
+    PROTO_VERSION, PUSH_ID_BASE, SYNC_PAGE_MAX_ENTRIES,
 };
 
 fn doc() -> String {
@@ -110,6 +111,22 @@ fn request_tag_table_matches_the_encoder() {
                 limit: 0,
             },
         ),
+        ("SubscribePush", Request::SubscribePush { from: 0 }),
+        (
+            "GetAt",
+            Request::GetAt {
+                key: 0,
+                min_epoch: 0,
+                wait_ms: 0,
+            },
+        ),
+        (
+            "WriteAt",
+            Request::WriteAt {
+                op: BatchOp::Get(0),
+            },
+        ),
+        ("Gauges", Request::Gauges),
     ];
     for (name, req) in samples {
         let mut body = Vec::new();
@@ -158,6 +175,30 @@ fn response_tag_table_matches_the_encoder() {
                 done: true,
             },
         ),
+        ("SubscribeAck", Response::SubscribeAck(FeedInfo::default())),
+        (
+            "Push",
+            Response::Push {
+                from: 0,
+                epoch: 0,
+                entries: vec![],
+            },
+        ),
+        (
+            "GotAt",
+            Response::GotAt {
+                value: None,
+                epoch: 0,
+            },
+        ),
+        (
+            "WroteAt",
+            Response::WroteAt {
+                result: BatchResult::Got(None),
+                watermark: 0,
+            },
+        ),
+        ("Gauges", Response::Gauges(ServerGauges::default())),
     ];
     for (name, resp) in samples {
         let mut body = Vec::new();
@@ -178,6 +219,7 @@ fn error_subtag_table_matches_the_encoder() {
         ("SnapshotLimit", WireError::SnapshotLimit(0)),
         ("EpochRetired", WireError::EpochRetired(0)),
         ("Busy", WireError::Busy(0)),
+        ("Stale", WireError::Stale(0)),
     ];
     for (name, err) in samples {
         let mut body = Vec::new();
@@ -186,6 +228,35 @@ fn error_subtag_table_matches_the_encoder() {
         let row = format!("| {} | `{name}` |", body[10]);
         assert!(doc.contains(&row), "error table must contain `{row}`");
     }
+}
+
+#[test]
+fn push_id_namespace_matches_the_doc() {
+    let doc = doc();
+    assert_eq!(PUSH_ID_BASE, 1u64 << 63, "doc states the reserved bit");
+    assert!(
+        doc.contains("`PUSH_ID_BASE = 1 << 63`"),
+        "doc must quote the reserved push-id base"
+    );
+    assert!(
+        doc.contains("`request_id = PUSH_ID_BASE | E`"),
+        "doc must state how push frames are stamped"
+    );
+    // A push frame really carries an id in the reserved namespace, and
+    // the gauges the doc lists really are nine u64s (9 * 8 bytes after
+    // the envelope's version + id + tag).
+    let mut body = Vec::new();
+    Response::Push {
+        from: 1,
+        epoch: 2,
+        entries: vec![],
+    }
+    .encode_with_id(PUSH_ID_BASE | 2, &mut body);
+    let id = u64::from_le_bytes(body[1..9].try_into().unwrap());
+    assert_ne!(id & PUSH_ID_BASE, 0, "push ids live above the top bit");
+    let mut gauges = Vec::new();
+    Response::Gauges(ServerGauges::default()).encode(&mut gauges);
+    assert_eq!(gauges.len(), 1 + 8 + 1 + 9 * 8, "nine u64 gauges");
 }
 
 #[test]

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
 use pathcopy_server::proto::{
-    FeedInfo, ProtoError, Request, Response, WireError, WireStats, PROTO_V2, PROTO_VERSION,
+    FeedInfo, ProtoError, Request, Response, ServerGauges, WireError, WireStats, PROTO_V2,
+    PROTO_VERSION,
 };
 
 fn arb_opt_i64() -> impl Strategy<Value = Option<i64>> {
@@ -71,6 +72,16 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 limit,
             }
         }),
+        any::<u64>().prop_map(|from| Request::SubscribePush { from }),
+        (any::<i64>(), any::<u64>(), any::<u32>()).prop_map(|(key, min_epoch, wait_ms)| {
+            Request::GetAt {
+                key,
+                min_epoch,
+                wait_ms,
+            }
+        }),
+        arb_batch_op().prop_map(|op| Request::WriteAt { op }),
+        Just(Request::Gauges),
     ]
 }
 
@@ -158,6 +169,51 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 entries,
                 done,
             }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(head, oldest, capacity)| {
+            Response::SubscribeAck(FeedInfo {
+                head,
+                oldest,
+                capacity,
+            })
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(arb_diff_entry(), 0..33)
+        )
+            .prop_map(|(from, epoch, entries)| Response::Push {
+                from,
+                epoch,
+                entries,
+            }),
+        (arb_opt_i64(), any::<u64>()).prop_map(|(value, epoch)| Response::GotAt { value, epoch }),
+        (arb_batch_result(), any::<u64>())
+            .prop_map(|(result, watermark)| Response::WroteAt { result, watermark }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>())
+        )
+            .prop_map(
+                |(
+                    (requests, requests_shed, open_conns),
+                    (wire_sent, wire_received, subscribers),
+                    (pushes, push_demotions, feed_head),
+                )| {
+                    Response::Gauges(ServerGauges {
+                        requests,
+                        requests_shed,
+                        open_conns,
+                        wire_sent,
+                        wire_received,
+                        subscribers,
+                        pushes,
+                        push_demotions,
+                        feed_head,
+                    })
+                }
+            ),
+        any::<u64>().prop_map(|epoch| Response::Error(WireError::Stale(epoch))),
     ]
 }
 
@@ -224,7 +280,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_request_tags_are_rejected(tag in 15u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_request_tags_are_rejected(tag in 19u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION];
         body.extend(id.to_le_bytes());
         body.push(tag);
@@ -236,7 +292,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_response_tags_are_rejected(tag in 17u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_response_tags_are_rejected(tag in 22u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION];
         body.extend(id.to_le_bytes());
         body.push(tag);
