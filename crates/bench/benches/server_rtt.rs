@@ -11,16 +11,25 @@
 //! one round trip at a time versus submitted as one window of tickets —
 //! the pipelined series pays roughly one round trip of latency for all
 //! eight.
+//!
+//! Per backend, the bench also emits a `server_rtt/get_p99/<backend>`
+//! **gauge**: the 99th-percentile get round trip over a fixed burst,
+//! recorded with the same log-bucketed histogram the server's own
+//! stage tracing uses, so tail regressions show in the CI trend even
+//! when the median holds.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathcopy_concurrent::BatchOp;
+use pathcopy_metrics::LatencyHistogram;
 use pathcopy_server::{backend, Client, Request, Response, ServerConfig};
 
 const PREFILL: i64 = 10_000;
+const P99_BURST: u32 = 1_000;
 
 fn bench_server_rtt(c: &mut Criterion) {
+    let mut gauges: Vec<(String, f64)> = Vec::new();
     let mut group = c.benchmark_group("server_rtt");
     group
         .sample_size(10)
@@ -106,10 +115,28 @@ fn bench_server_rtt(c: &mut Criterion) {
             })
         });
 
+        // A fixed warm burst of gets into a histogram: the p99 gauge
+        // tracks tail latency in the trend artifact, where the median
+        // series above can't see a regression confined to the tail.
+        let rtt = LatencyHistogram::new();
+        for i in 0..P99_BURST {
+            let k = i64::from(i) % PREFILL;
+            let t0 = Instant::now();
+            client.get(k).expect("get");
+            rtt.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        gauges.push((
+            format!("server_rtt/get_p99/{name}"),
+            rtt.snapshot().value_at_percentile(99.0) as f64,
+        ));
+
         drop(client);
         server.shutdown();
     }
     group.finish();
+    for (id, p99) in gauges {
+        c.report_gauge(&id, p99, "ns");
+    }
 }
 
 criterion_group!(benches, bench_server_rtt);

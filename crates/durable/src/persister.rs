@@ -3,11 +3,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use pathcopy_metrics::{HistogramSnapshot, LatencyHistogram, Stage};
 use pathcopy_server::backend::ServeSnapshot;
-use pathcopy_server::proto::Epoch;
+use pathcopy_server::metrics::{summarize, MetricsSource};
+use pathcopy_server::proto::{Epoch, StageSummary};
 use pathcopy_server::FeedSink;
 
 use crate::log::{EpochLog, LogError};
@@ -40,6 +43,7 @@ pub struct FeedPersister {
     log: Arc<EpochLog>,
     last_error: Mutex<Option<LogError>>,
     errors: AtomicU64,
+    append_fsync: LatencyHistogram,
 }
 
 impl FeedPersister {
@@ -49,7 +53,18 @@ impl FeedPersister {
             log,
             last_error: Mutex::new(None),
             errors: AtomicU64::new(0),
+            append_fsync: LatencyHistogram::new(),
         })
+    }
+
+    /// Latency distribution of whole-epoch persistence (diff or
+    /// checkpoint append, including the fsync), in nanoseconds per
+    /// published epoch. Register the persister as a
+    /// [`MetricsSource`] on the server
+    /// ([`ServerHandle::register_metrics_source`](pathcopy_server::ServerHandle::register_metrics_source))
+    /// to expose it over `Request::Metrics`.
+    pub fn append_fsync_snapshot(&self) -> HistogramSnapshot {
+        self.append_fsync.snapshot()
     }
 
     /// The log being written.
@@ -84,6 +99,7 @@ impl FeedSink for FeedPersister {
         if epoch <= self.log.head() {
             return; // already durable (recovered primary republishing)
         }
+        let started = Instant::now();
         let every = self.log.config().checkpoint_every.max(1);
         let last = self.log.last_checkpoint();
         let checkpoint_due = last == 0 || epoch - last >= every;
@@ -99,8 +115,20 @@ impl FeedSink for FeedPersister {
             },
             _ => self.log.append_checkpoint(epoch, snap.as_ref()),
         };
+        self.append_fsync
+            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         if let Err(e) = result {
             self.record_error(e);
         }
+    }
+}
+
+impl MetricsSource for FeedPersister {
+    fn collect(&self) -> Vec<StageSummary> {
+        vec![summarize(
+            Stage::AppendFsync,
+            0,
+            &self.append_fsync.snapshot(),
+        )]
     }
 }

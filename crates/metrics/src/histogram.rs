@@ -1,0 +1,439 @@
+//! A lock-free, log-bucketed latency histogram.
+//!
+//! The layout is the classic HdrHistogram "log-linear" scheme: values are
+//! grouped into power-of-two octaves, and each octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets. Bucket width therefore grows with
+//! magnitude, bounding the *relative* quantisation error at
+//! `1 / SUB_BUCKETS` (≈3.1% with 32 sub-buckets) across the full `u64`
+//! range with a fixed-size array of [`BUCKET_COUNT`] counters.
+//!
+//! Recording is a single relaxed `fetch_add` per sample (plus a relaxed
+//! `fetch_max` for the true maximum), so histograms can be shared across
+//! threads without locks. [`LatencyHistogram::snapshot`] reads every
+//! counter into a plain [`HistogramSnapshot`], which can be merged with
+//! other snapshots and queried for percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Number of linear sub-buckets per power-of-two octave, as a bit shift.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+/// Number of linear sub-buckets per power-of-two octave (32): the
+/// reciprocal bounds the histogram's relative error.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Total number of buckets covering the full `u64` range: one linear
+/// block for values below [`SUB_BUCKETS`], then one block per remaining
+/// octave.
+pub const BUCKET_COUNT: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS as usize;
+
+/// Index of the bucket that counts `value`.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BUCKET_BITS;
+    let sub = (value >> shift) - SUB_BUCKETS;
+    ((u64::from(shift) + 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// Smallest value that maps to bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKET_COUNT`.
+#[inline]
+#[must_use]
+pub fn bucket_low(index: usize) -> u64 {
+    assert!(index < BUCKET_COUNT, "bucket index out of range");
+    let block = index as u64 / SUB_BUCKETS;
+    let sub = index as u64 % SUB_BUCKETS;
+    if block == 0 {
+        sub
+    } else {
+        (SUB_BUCKETS + sub) << (block - 1)
+    }
+}
+
+/// Largest value that maps to bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKET_COUNT`.
+#[inline]
+#[must_use]
+pub fn bucket_high(index: usize) -> u64 {
+    let low = bucket_low(index);
+    let block = index as u64 / SUB_BUCKETS;
+    if block == 0 {
+        low
+    } else {
+        low + ((1 << (block - 1)) - 1)
+    }
+}
+
+/// A fixed-size, lock-free latency histogram.
+///
+/// Values are dimensionless `u64`s; the serving pipelines record
+/// nanoseconds (and the replica's epoch-lag stage records epochs).
+/// Concurrent [`record`](Self::record) calls never block; a
+/// [`snapshot`](Self::snapshot) is a racy-but-monotonic read (each
+/// counter is read atomically, but the set of reads is not a consistent
+/// cut — percentiles derived from a snapshot under concurrent load are
+/// approximate by construction anyway).
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64]>,
+    sum: CachePadded<AtomicU64>,
+    max: CachePadded<AtomicU64>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    #[must_use]
+    pub fn new() -> Self {
+        let counts = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        LatencyHistogram {
+            counts,
+            sum: CachePadded::new(AtomicU64::new(0)),
+            max: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value (e.g. per-op latency of a
+    /// batch, amortised). The running sum wraps on overflow; percentiles
+    /// and `max` are unaffected.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copies the current counters into a plain-data snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Box<[u64]> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter. Not atomic with respect to concurrent
+    /// recorders: samples recorded during a reset may be partially kept.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count)
+            .field("max", &snap.max)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A plain-data copy of a [`LatencyHistogram`]'s counters.
+///
+/// Snapshots are mergeable ([`merge`](Self::merge)) and queryable for
+/// percentiles with bounded relative error: the reported value for any
+/// percentile lands in the same bucket as the exact order statistic, so
+/// it is within one bucket width (≤ `1 / SUB_BUCKETS` relative) of it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot; the identity element for [`merge`](Self::merge).
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKET_COUNT].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Wrapping sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket sample counts ([`BUCKET_COUNT`] entries).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Folds `other` into `self`. Equivalent to having recorded the
+    /// union of both sample streams into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at percentile `pct` (0–100): the highest value representable
+    /// by the bucket containing the exact order statistic, clamped to the
+    /// observed maximum. Returns 0 for an empty snapshot.
+    #[must_use]
+    pub fn value_at_percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((pct / 100.0) * self.count as f64).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all recorded samples (0.0 when empty; inaccurate if the
+    /// running sum wrapped).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Condenses the snapshot into the fixed percentile set shipped over
+    /// the wire.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            sum: self.sum,
+            p50: self.value_at_percentile(50.0),
+            p90: self.value_at_percentile(90.0),
+            p99: self.value_at_percentile(99.0),
+            p999: self.value_at_percentile(99.9),
+            max: self.max,
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nonzero: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("nonzero_buckets", &nonzero)
+            .finish()
+    }
+}
+
+/// Fixed percentile summary of one histogram: what the `Metrics` wire
+/// frame carries per stage/tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Wrapping sum of all samples (for mean reconstruction).
+    pub sum: u64,
+    /// 50th percentile (median).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_maths_are_inverse() {
+        for i in 0..BUCKET_COUNT {
+            let low = bucket_low(i);
+            let high = bucket_high(i);
+            assert!(low <= high, "bucket {i}: low {low} > high {high}");
+            assert_eq!(bucket_index(low), i, "low of bucket {i}");
+            assert_eq!(bucket_index(high), i, "high of bucket {i}");
+            if i + 1 < BUCKET_COUNT {
+                assert_eq!(bucket_low(i + 1), high + 1, "buckets {i} contiguous");
+            } else {
+                assert_eq!(high, u64::MAX, "last bucket tops out the range");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[1u64, 31, 32, 33, 1_000, 123_456_789, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_high(i) - bucket_low(i) + 1;
+            assert!(
+                width == 1 || width <= v / (SUB_BUCKETS / 2),
+                "bucket width {width} too wide for value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.value_at_percentile(50.0), 0);
+        assert_eq!(s.summary(), Summary::default());
+    }
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 10);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), 1000);
+        // Values up to 1000 sit in buckets at most 16 wide, so every
+        // percentile is within one bucket of the exact answer.
+        let p50 = s.value_at_percentile(50.0);
+        assert!((495..=520).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.value_at_percentile(100.0), 1000);
+        assert_eq!(s.summary().max, 1000);
+    }
+
+    #[test]
+    fn record_n_matches_looped_record() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_n(777, 5);
+        a.record_n(3, 0);
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn merge_is_the_union() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let union = LatencyHistogram::new();
+        for v in [1u64, 50, 4096, u64::MAX] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2u64, 50, 1 << 40] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 40_000);
+        assert!(s.max() >= 3_000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = LatencyHistogram::new();
+        h.record(123);
+        h.reset();
+        assert!(h.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the log-bucketed histogram (satellite of the
+//! observability PR): against an exact sorted-vec oracle, every reported
+//! percentile must land in the same bucket as the true order statistic
+//! (i.e. within one bucket's relative error), and merging two snapshots
+//! must equal recording the union of both sample streams.
+
+use proptest::prelude::*;
+
+use pathcopy_metrics::{
+    bucket_high, bucket_index, bucket_low, HistogramSnapshot, LatencyHistogram,
+};
+
+/// Mix of dense small values (exercises the linear region and crowded
+/// buckets) and arbitrary u64s (exercises every octave).
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..2_000, any::<u64>()]
+}
+
+/// Exact order statistic matching the histogram's rank convention:
+/// the ceil(pct/100 · n)-th smallest sample, clamped to [1, n].
+fn oracle(sorted: &[u64], pct: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let target = ((pct / 100.0) * n as f64).ceil() as u64;
+    let target = target.clamp(1, n);
+    sorted[(target - 1) as usize]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+const PERCENTILES: [f64; 10] = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentiles_match_oracle_within_one_bucket(
+        samples in prop::collection::vec(arb_sample(), 1..400),
+    ) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+        let exact_sum = samples.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum(), exact_sum);
+
+        for pct in PERCENTILES {
+            let reported = snap.value_at_percentile(pct);
+            let exact = oracle(&sorted, pct);
+            let bucket = bucket_index(exact);
+            prop_assert_eq!(
+                bucket_index(reported), bucket,
+                "pct {}: reported {} not in exact value {}'s bucket [{}, {}]",
+                pct, reported, exact, bucket_low(bucket), bucket_high(bucket)
+            );
+            // Within the bucket the report never undershoots the truth.
+            prop_assert!(reported >= exact, "pct {}: {} < {}", pct, reported, exact);
+        }
+        prop_assert_eq!(snap.value_at_percentile(100.0), snap.max());
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in prop::collection::vec(arb_sample(), 0..200),
+        b in prop::collection::vec(arb_sample(), 0..200),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&union));
+    }
+
+    #[test]
+    fn summary_is_consistent_with_percentile_queries(
+        samples in prop::collection::vec(arb_sample(), 1..200),
+    ) {
+        let snap = snapshot_of(&samples);
+        let s = snap.summary();
+        prop_assert_eq!(s.count, snap.count());
+        prop_assert_eq!(s.sum, snap.sum());
+        prop_assert_eq!(s.p50, snap.value_at_percentile(50.0));
+        prop_assert_eq!(s.p99, snap.value_at_percentile(99.0));
+        prop_assert_eq!(s.max, snap.max());
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+}

@@ -8,7 +8,8 @@
 //!     --threads 8 --ops 100000 --backend sharded_map_8 \
 //!     --read-frac 0.9 --theta 0.99 --keys 65536 \
 //!     [--batch 8] [--workers 8] [--replicas 2] [--json out.jsonl] \
-//!     [--log-dir /var/tmp/pathcopy-log] [--subscribe] [--relays 2]
+//!     [--log-dir /var/tmp/pathcopy-log] [--subscribe] [--relays 2] \
+//!     [--metrics]
 //! ```
 //!
 //! `--batch n` groups updates into n-op `Batch` frames (the sharded
@@ -41,6 +42,15 @@
 //! sequence. Combine with `--replicas` to exercise the full
 //! primary → log → replica pipeline under load.
 //!
+//! `--metrics` scrapes the primary's per-stage latency histograms
+//! (`Request::Metrics`) after the run and prints them in Prometheus
+//! text format: decode→dispatch queue wait, worker execute time, and
+//! reply write/flush time per request tag, plus the durable log's
+//! append+fsync distribution when `--log-dir` is active. Reading the
+//! split tells you *where* a latency regression lives — queue wait
+//! rises when workers are saturated, execute time when the backend
+//! slows down, write time when replies outpace the sockets.
+//!
 //! `--subscribe` switches the replica tier from pull to **push**: each
 //! replica registers for the primary's feed and applies unsolicited
 //! epoch-diff frames (`PushReplica::pump`) instead of polling
@@ -61,8 +71,11 @@ use pathcopy_bench::cli::Args;
 use pathcopy_bench::table::{group_thousands, Series};
 use pathcopy_concurrent::BatchOp;
 use pathcopy_durable::{EpochLog, FeedPersister, LogConfig};
+use pathcopy_metrics::LatencyHistogram;
 use pathcopy_replica::{cluster, PushOutcome, PushReplica};
-use pathcopy_server::{backend, Client, FeedSink, Request, ServerConfig, Ticket};
+use pathcopy_server::{
+    backend, render_text, Client, FeedSink, MetricsSource as _, Request, ServerConfig, Ticket,
+};
 use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
 
 fn main() {
@@ -89,6 +102,7 @@ fn main() {
     let publish_ms: u64 = args.get_or("publish-ms", 2);
     let json: Option<String> = args.get("json").map(String::from);
     let log_dir: Option<String> = args.get("log-dir").map(String::from);
+    let show_metrics = args.has_flag("metrics");
 
     assert!(threads >= 1, "--threads must be at least 1");
     assert!(batch >= 1, "--batch must be at least 1");
@@ -125,6 +139,11 @@ fn main() {
         durable = Some((log, persister));
     }
     let server = pathcopy_server::spawn(engine, config).expect("bind ephemeral loopback port");
+    if let Some((_, persister)) = &durable {
+        // The log's append+fsync histogram joins `Request::Metrics`
+        // scrapes alongside the event loop's own stages.
+        server.register_metrics_source(Arc::clone(persister) as _);
+    }
     let addr = server.addr();
 
     // Prefill through the wire in large batches, so measured traffic
@@ -209,7 +228,9 @@ fn main() {
 
     let per_thread = total_ops / threads as u64;
     let start = Instant::now();
-    let mut all_latencies_ns: Vec<u64> = Vec::with_capacity(total_ops as usize);
+    // One lock-free histogram replaces the old collect-and-sort vector:
+    // workers record concurrently, the report reads one snapshot.
+    let latency_hist = LatencyHistogram::new();
     let mut done_ops = 0u64;
     let mut synced_nodes = Vec::new();
     let mut pumped_nodes = Vec::new();
@@ -273,6 +294,7 @@ fn main() {
             } else {
                 read_addrs[t % read_addrs.len()]
             };
+            let hist = &latency_hist;
             handles.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("worker connect");
                 // With replicas, reads go to this thread's replica over a
@@ -287,7 +309,6 @@ fn main() {
                     read_frac,
                     seed ^ (0xc2b2_ae35 + t as u64),
                 );
-                let mut latencies = Vec::with_capacity(per_thread as usize);
                 let mut ops_run = 0u64;
                 let mut pending: Vec<BatchOp<i64, i64>> = Vec::with_capacity(batch);
                 if pipeline > 1 {
@@ -300,15 +321,12 @@ fn main() {
                     let mut window: std::collections::VecDeque<(Instant, Ticket, usize)> =
                         std::collections::VecDeque::with_capacity(pipeline);
                     let drain_one =
-                        |window: &mut std::collections::VecDeque<(Instant, Ticket, usize)>,
-                         latencies: &mut Vec<u64>| {
+                        |window: &mut std::collections::VecDeque<(Instant, Ticket, usize)>| {
                             let (t0, ticket, n) = window.pop_front().expect("non-empty window");
                             ticket.wait().expect("pipelined response");
                             let ns = t0.elapsed().as_nanos() as u64;
                             // One round trip carried `n` ops.
-                            for _ in 0..n {
-                                latencies.push(ns / n as u64);
-                            }
+                            hist.record_n(ns / n as u64, n as u64);
                         };
                     while ops_run < per_thread {
                         let op = stream.next_op();
@@ -338,7 +356,7 @@ fn main() {
                             }
                         };
                         if window.len() == pipeline {
-                            drain_one(&mut window, &mut latencies);
+                            drain_one(&mut window);
                         }
                         let session = if to_reader {
                             reader.as_ref().expect("reader session")
@@ -358,9 +376,9 @@ fn main() {
                         window.push_back((Instant::now(), ticket, n));
                     }
                     while !window.is_empty() {
-                        drain_one(&mut window, &mut latencies);
+                        drain_one(&mut window);
                     }
-                    return (latencies, ops_run);
+                    return ops_run;
                 }
                 while ops_run < per_thread {
                     let op = stream.next_op();
@@ -375,9 +393,7 @@ fn main() {
                             client.batch(&pending).expect("batch");
                             let ns = t0.elapsed().as_nanos() as u64;
                             // One round trip carried `batch` ops.
-                            for _ in 0..pending.len() {
-                                latencies.push(ns / pending.len() as u64);
-                            }
+                            hist.record_n(ns / pending.len() as u64, pending.len() as u64);
                             pending.clear();
                         }
                         ops_run += 1;
@@ -395,19 +411,17 @@ fn main() {
                             client.remove(k).expect("remove");
                         }
                     }
-                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    hist.record(t0.elapsed().as_nanos() as u64);
                     ops_run += 1;
                 }
                 if !pending.is_empty() {
                     client.batch(&pending).expect("final batch");
                 }
-                (latencies, ops_run)
+                ops_run
             }));
         }
         for h in handles {
-            let (lat, ops) = h.join().expect("worker panicked");
-            all_latencies_ns.extend(lat);
-            done_ops += ops;
+            done_ops += h.join().expect("worker panicked");
         }
         stop.store(true, Ordering::Relaxed);
         for h in sync_handles {
@@ -419,15 +433,13 @@ fn main() {
     });
 
     let elapsed = start.elapsed();
-    all_latencies_ns.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if all_latencies_ns.is_empty() {
-            return 0;
-        }
-        let idx = ((all_latencies_ns.len() - 1) as f64 * p).round() as usize;
-        all_latencies_ns[idx]
-    };
-    let (p50, p95, p99, max) = (pct(0.50), pct(0.95), pct(0.99), pct(1.0));
+    let latencies = latency_hist.snapshot();
+    let (p50, p95, p99, max) = (
+        latencies.value_at_percentile(50.0),
+        latencies.value_at_percentile(95.0),
+        latencies.value_at_percentile(99.0),
+        latencies.max(),
+    );
     let ops_per_sec = done_ops as f64 / elapsed.as_secs_f64();
 
     let final_stats = {
@@ -523,6 +535,21 @@ fn main() {
         );
         if let Some(e) = persister.take_error() {
             eprintln!("durable log: last append error: {e}");
+        }
+    }
+
+    if show_metrics {
+        // Scrape the primary the way an external collector would — over
+        // the wire — and print the text exposition.
+        let mut c = Client::connect(addr).expect("metrics connect");
+        let rows = c.metrics().expect("metrics scrape");
+        println!("--- metrics (primary) ---");
+        print!("{}", render_text(&rows));
+        for (i, node) in pumped_nodes.iter().enumerate() {
+            let role = if i < relays { "relay" } else { "push-replica" };
+            let rows = node.metrics().collect();
+            println!("--- metrics ({role}[{i}] push path) ---");
+            print!("{}", render_text(&rows));
         }
     }
 

@@ -70,5 +70,5 @@
 mod push;
 mod replica;
 
-pub use push::{PushOutcome, PushReplica, PushStats, RelayBackend};
+pub use push::{PushMetrics, PushOutcome, PushReplica, PushStats, RelayBackend};
 pub use replica::{cluster, Replica, ReplicaNode, ReplicaStats, ReplicaStatsSnapshot, SyncOutcome};

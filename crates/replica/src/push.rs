@@ -47,10 +47,13 @@
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pathcopy_concurrent::{diff_to_ops, BatchOp, BatchResult};
 use pathcopy_core::StatsSnapshot;
+use pathcopy_metrics::{HistogramSnapshot, LatencyHistogram, Stage};
+use pathcopy_server::metrics::{summarize, MetricsSource};
+use pathcopy_server::proto::StageSummary;
 use pathcopy_server::{
     ClientError, Epoch, ServeBackend, ServeSnapshot, ServerConfig, ServerHandle, Subscription,
 };
@@ -162,6 +165,44 @@ pub struct PushStats {
     pub resubscribes: u64,
 }
 
+/// Latency histograms for the push path, shared so a relay's serving
+/// endpoint can expose them over `Request::Metrics` while the pump
+/// thread keeps recording.
+///
+/// * **push-apply** — nanoseconds from a push frame leaving the
+///   subscription queue to the diff being applied and mirrored;
+/// * **epoch lag** — `frame.epoch - applied` at each applied or
+///   gap-revealing push, in epochs: steady-state delivery records `1`
+///   per frame, anything larger is backlog the primary published while
+///   this replica wasn't keeping up (the watermark already on the wire
+///   makes this measurable end-to-end, at any relay depth).
+#[derive(Debug, Default)]
+pub struct PushMetrics {
+    push_apply: LatencyHistogram,
+    epoch_lag: LatencyHistogram,
+}
+
+impl PushMetrics {
+    /// Snapshot of the push-apply latency histogram (nanoseconds).
+    pub fn push_apply_snapshot(&self) -> HistogramSnapshot {
+        self.push_apply.snapshot()
+    }
+
+    /// Snapshot of the epoch-lag histogram (epochs).
+    pub fn epoch_lag_snapshot(&self) -> HistogramSnapshot {
+        self.epoch_lag.snapshot()
+    }
+}
+
+impl MetricsSource for PushMetrics {
+    fn collect(&self) -> Vec<StageSummary> {
+        vec![
+            summarize(Stage::PushApply, 0, &self.push_apply.snapshot()),
+            summarize(Stage::EpochLag, 0, &self.epoch_lag.snapshot()),
+        ]
+    }
+}
+
 /// A push-fed replica, optionally re-serving the feed as a relay; see
 /// the module docs.
 pub struct PushReplica {
@@ -169,6 +210,7 @@ pub struct PushReplica {
     sub: Subscription,
     relay: Option<ServerHandle>,
     stats: PushStats,
+    metrics: Arc<PushMetrics>,
 }
 
 impl PushReplica {
@@ -196,7 +238,15 @@ impl PushReplica {
             sub,
             relay: None,
             stats: PushStats::default(),
+            metrics: Arc::new(PushMetrics::default()),
         })
+    }
+
+    /// The push path's latency histograms; hold the `Arc` to scrape
+    /// them from another thread, or let [`serve_relay`](Self::serve_relay)
+    /// register them on the relay endpoint automatically.
+    pub fn metrics(&self) -> Arc<PushMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The wrapped pull engine (for its stats and store accessors).
@@ -235,6 +285,7 @@ impl PushReplica {
     pub fn serve_relay(&mut self, config: ServerConfig) -> io::Result<SocketAddr> {
         let handle =
             pathcopy_server::spawn(Box::new(RelayBackend::new(self.replica.store())), config)?;
+        handle.register_metrics_source(self.metrics());
         let applied = self.applied_epoch();
         if applied > 0 {
             handle.publish_at(applied);
@@ -278,7 +329,11 @@ impl PushReplica {
             self.stats.stale_pushes += 1;
             return Ok(PushOutcome::Stale { epoch: frame.epoch });
         }
+        // How far ahead the wire says the feed is: 1 per frame in the
+        // steady state, more when this replica fell behind.
+        self.metrics.epoch_lag.record(frame.epoch - applied);
         if frame.from == applied {
+            let started = Instant::now();
             if !frame.entries.is_empty() {
                 self.replica.store().transact(&diff_to_ops(&frame.entries));
             }
@@ -286,6 +341,9 @@ impl PushReplica {
             self.stats.pushes_applied += 1;
             self.stats.push_entries += frame.entries.len() as u64;
             self.mirror(frame.epoch);
+            self.metrics
+                .push_apply
+                .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             Ok(PushOutcome::Pushed {
                 epoch: frame.epoch,
                 changes: frame.entries.len(),

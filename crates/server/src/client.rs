@@ -33,7 +33,8 @@ use pathcopy_core::{ByteCounters, ByteCountersSnapshot, DiffEntry};
 
 use crate::proto::{
     read_response_enveloped, write_request_with_id, Epoch, FeedInfo, ProtoError, Request,
-    RequestId, Response, ServerGauges, SnapshotId, WireError, WireStats, PUSH_ID_BASE,
+    RequestId, Response, ServerGauges, SnapshotId, StageSummary, WireError, WireStats,
+    PUSH_ID_BASE,
 };
 
 /// Why a client call failed — the single error surface for everything
@@ -823,6 +824,22 @@ impl Client {
         match self.call(&Request::Gauges)? {
             Response::Gauges(g) => Ok(g),
             _ => Err(ClientError::Unexpected("Gauges")),
+        }
+    }
+
+    /// Scrapes the server's per-stage latency histograms in one round
+    /// trip: one percentile row per (stage, request-tag) pair that has
+    /// recorded samples. Render with
+    /// [`render_text`](crate::metrics::render_text) for the
+    /// Prometheus-style text form.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn metrics(&mut self) -> Result<Vec<StageSummary>, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(rows) => Ok(rows),
+            _ => Err(ClientError::Unexpected("Metrics")),
         }
     }
 

@@ -37,6 +37,7 @@ use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use pathcopy_core::DiffEntry;
@@ -88,6 +89,10 @@ struct Completion {
     /// decrements the connection's in-flight count nor bypasses the
     /// subscriber backpressure bound ([`PUSH_OUTQ_MAX`]).
     push: bool,
+    /// Write/flush stage tracing: the request tag and the moment the
+    /// encoded reply left its worker. `None` when metrics are disabled
+    /// or the frame is not a traced reply.
+    timing: Option<(u8, Instant)>,
 }
 
 /// The worker→loop return path: a queue plus the write end of the
@@ -218,7 +223,27 @@ impl EpochFanout for PushHub {
                 conn,
                 frame: frame.clone(),
                 push: true,
+                timing: None,
             });
+        }
+    }
+}
+
+/// One encoded frame on a connection's write queue, with the tracing
+/// breadcrumb needed to close out the write/flush stage when its last
+/// byte reaches the kernel.
+struct OutFrame {
+    bytes: Vec<u8>,
+    /// As [`Completion::timing`].
+    timing: Option<(u8, Instant)>,
+}
+
+impl OutFrame {
+    /// A frame outside the traced request path (errors, acks, pushes).
+    fn untimed(bytes: Vec<u8>) -> Self {
+        OutFrame {
+            bytes,
+            timing: None,
         }
     }
 }
@@ -230,7 +255,7 @@ struct Conn {
     rbuf: Vec<u8>,
     /// Encoded reply frames awaiting the socket; the front one may be
     /// partially written (`out_off` bytes already gone).
-    outq: VecDeque<Vec<u8>>,
+    outq: VecDeque<OutFrame>,
     out_off: usize,
     /// Dispatched requests not yet answered — the admission-control
     /// counter.
@@ -399,7 +424,10 @@ impl EventLoop {
                 } else {
                     conn.in_flight = conn.in_flight.saturating_sub(1);
                 }
-                conn.outq.push_back(completion.frame);
+                conn.outq.push_back(OutFrame {
+                    bytes: completion.frame,
+                    timing: completion.timing,
+                });
                 touched.push(completion.conn);
             }
         }
@@ -509,11 +537,11 @@ impl EventLoop {
                 // The length prefix itself is broken: no envelope to
                 // echo, answer in the peer's last-known dialect and
                 // stop trusting the stream.
-                conn.outq.push_back(response_frame(
+                conn.outq.push_back(OutFrame::untimed(response_frame(
                     &Response::Error(WireError::Malformed),
                     conn.last_version,
                     0,
-                ));
+                )));
                 conn.closing = true;
                 break;
             }
@@ -529,11 +557,11 @@ impl EventLoop {
                     self.dispatch(token, conn, framed.version, framed.request_id, framed.msg);
                 }
                 Err(_) => {
-                    conn.outq.push_back(response_frame(
+                    conn.outq.push_back(OutFrame::untimed(response_frame(
                         &Response::Error(WireError::Malformed),
                         version,
                         request_id,
-                    ));
+                    )));
                     conn.closing = true;
                     break;
                 }
@@ -564,22 +592,32 @@ impl EventLoop {
         let depth = self.tunables.queue_depth.max(1);
         if conn.in_flight >= depth {
             self.shared.shed.fetch_add(1, Ordering::Relaxed);
-            conn.outq.push_back(response_frame(
+            conn.outq.push_back(OutFrame::untimed(response_frame(
                 &Response::Error(WireError::Busy(depth as u64)),
                 version,
                 request_id,
-            ));
+            )));
             return;
         }
         conn.in_flight += 1;
+        // Stage tracing: `begin` reads the clock only when metrics are
+        // enabled, the worker closes out queue-wait when it starts and
+        // execute when the reply is encoded, and `flush` closes out the
+        // write stage when the frame's last byte reaches the kernel.
+        let queued_at = self.shared.metrics.begin();
+        let tag = req.tag_byte();
         let shared = Arc::clone(&self.shared);
         let completions = Arc::clone(&self.completions);
         self.pool.execute(move || {
+            let exec_start = shared.metrics.queue_wait(tag).lap(queued_at);
             let resp = handle_request(&shared, req);
+            let frame = response_frame(&resp, version, request_id);
+            let write_start = shared.metrics.execute(tag).lap(exec_start);
             completions.push(Completion {
                 conn: token,
-                frame: response_frame(&resp, version, request_id),
+                frame,
                 push: false,
+                timing: write_start.map(|t| (tag, t)),
             });
         });
     }
@@ -600,21 +638,21 @@ impl EventLoop {
     ) {
         if version == PROTO_V2 {
             // A v2 peer cannot tell an unsolicited frame from a reply.
-            conn.outq.push_back(response_frame(
+            conn.outq.push_back(OutFrame::untimed(response_frame(
                 &Response::Error(WireError::Malformed),
                 version,
                 request_id,
-            ));
+            )));
             return;
         }
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
         self.shared.push.register(token);
         let info = self.shared.feed.info();
-        conn.outq.push_back(response_frame(
+        conn.outq.push_back(OutFrame::untimed(response_frame(
             &Response::SubscribeAck(info),
             version,
             request_id,
-        ));
+        )));
         // Catch-up: a subscriber registering behind the head gets one
         // synthetic push covering `from → head`, provided `from` is
         // still retained and the diff fits a frame. Otherwise it will
@@ -630,7 +668,7 @@ impl EventLoop {
         if let Some(entries) = from_snap.diff(head_snap.as_ref()) {
             if entries.len() as u64 * 17 <= MAX_FRAME_LEN as u64 {
                 self.shared.push.pushes.fetch_add(1, Ordering::Relaxed);
-                conn.outq.push_back(response_frame(
+                conn.outq.push_back(OutFrame::untimed(response_frame(
                     &Response::Push {
                         from,
                         epoch: head,
@@ -638,7 +676,7 @@ impl EventLoop {
                     },
                     PROTO_VERSION,
                     PUSH_ID_BASE | head,
-                ));
+                )));
             }
         }
     }
@@ -651,10 +689,10 @@ impl EventLoop {
             let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.outq.len().min(MAX_IOVECS));
             let mut frames = conn.outq.iter();
             if let Some(front) = frames.next() {
-                slices.push(IoSlice::new(&front[conn.out_off..]));
+                slices.push(IoSlice::new(&front.bytes[conn.out_off..]));
             }
             for frame in frames.take(MAX_IOVECS - 1) {
-                slices.push(IoSlice::new(frame));
+                slices.push(IoSlice::new(&frame.bytes));
             }
             match (&conn.stream).write_vectored(&slices) {
                 Ok(0) => return false,
@@ -662,11 +700,18 @@ impl EventLoop {
                     self.shared.wire.add_sent(n as u64);
                     while n > 0 {
                         let front_left =
-                            conn.outq.front().expect("bytes written").len() - conn.out_off;
+                            conn.outq.front().expect("bytes written").bytes.len() - conn.out_off;
                         if n >= front_left {
                             n -= front_left;
-                            conn.outq.pop_front();
+                            let done = conn.outq.pop_front().expect("front exists");
                             conn.out_off = 0;
+                            // Close out the write/flush stage: reply
+                            // encoded on its worker → last byte handed
+                            // to the kernel (queueing behind the socket
+                            // included, by design).
+                            if let Some((tag, t0)) = done.timing {
+                                self.shared.metrics.write_flush(tag).record_since(Some(t0));
+                            }
                         } else {
                             conn.out_off += n;
                             n = 0;

@@ -65,6 +65,7 @@ pub mod backend;
 pub mod client;
 mod event;
 pub mod feed;
+pub mod metrics;
 mod poll;
 pub mod pool;
 pub mod proto;
@@ -73,8 +74,9 @@ pub mod server;
 pub use backend::{ServeBackend, ServeSnapshot};
 pub use client::{Client, ClientError, PushFrame, Session, SessionToken, Subscription, Ticket};
 pub use feed::{FeedSink, VersionFeed};
+pub use metrics::{render_text, MetricsSource, ServerMetrics};
 pub use proto::{
     Epoch, FeedInfo, Framed, ProtoError, Request, RequestId, Response, ServerGauges, SnapshotId,
-    WireError, WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION, PUSH_ID_BASE,
+    StageSummary, WireError, WireStats, MAX_FRAME_LEN, PROTO_V2, PROTO_VERSION, PUSH_ID_BASE,
 };
 pub use server::{spawn, ServerConfig, ServerConfigBuilder, ServerHandle};

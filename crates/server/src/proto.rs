@@ -260,6 +260,12 @@ pub enum Request {
     /// [`Response::Gauges`]. This is the scrape endpoint loadgen and
     /// tests use instead of process-local handles.
     Gauges,
+    /// Read the server's latency histograms — per-stage, per-request-tag
+    /// percentile summaries from the event loop's tracing recorders plus
+    /// any registered sources (durable persister, push replicas).
+    /// Replied with [`Response::Metrics`]; the reply is empty when the
+    /// server runs with metrics disabled.
+    Metrics,
 }
 
 /// A server-to-client message; variants mirror [`Request`] one-to-one
@@ -361,6 +367,10 @@ pub enum Response {
     },
     /// Reply to [`Request::Gauges`].
     Gauges(ServerGauges),
+    /// Reply to [`Request::Metrics`]: one percentile summary per
+    /// (stage, request-tag) pair that has recorded at least one sample,
+    /// in ascending (stage, tag) order. Empty when metrics are disabled.
+    Metrics(Vec<StageSummary>),
     /// The request could not be served.
     Error(WireError),
 }
@@ -426,6 +436,39 @@ pub struct ServerGauges {
     pub push_demotions: u64,
     /// Newest published epoch of the version feed (`0` = none).
     pub feed_head: u64,
+}
+
+/// One latency-histogram summary carried by [`Response::Metrics`]: the
+/// fixed percentile set of one pipeline stage, optionally split by the
+/// request tag that went through it.
+///
+/// `stage` bytes are the `pathcopy_metrics::Stage` discriminants
+/// (1 queue_wait, 2 execute, 3 write_flush, 4 append_fsync,
+/// 5 push_apply, 6 epoch_lag); unknown values must be skipped, not
+/// rejected, so servers can add stages without breaking old scrapers.
+/// Values are nanoseconds for every stage except `epoch_lag`, which
+/// counts epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageSummary {
+    /// Which pipeline stage this summarises.
+    pub stage: u8,
+    /// Request tag the samples belong to (`0` = the stage is not split
+    /// by tag).
+    pub tag: u8,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Wrapping sum of all samples (for mean reconstruction).
+    pub sum: u64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest recorded sample.
+    pub max: u64,
 }
 
 /// Error replies a server can send.
@@ -951,7 +994,63 @@ impl Request {
                 put_batch_op(out, op);
             }
             Request::Gauges => out.push(18),
+            Request::Metrics => out.push(19),
         }
+    }
+
+    /// The request's wire tag byte — the key the server's per-tag stage
+    /// histograms are indexed by.
+    #[must_use]
+    pub fn tag_byte(&self) -> u8 {
+        match self {
+            Request::Get { .. } => 1,
+            Request::Insert { .. } => 2,
+            Request::Remove { .. } => 3,
+            Request::Cas { .. } => 4,
+            Request::Batch { .. } => 5,
+            Request::Snapshot => 6,
+            Request::Range { .. } => 7,
+            Request::Diff { .. } => 8,
+            Request::Release { .. } => 9,
+            Request::Stats => 10,
+            Request::Publish => 11,
+            Request::Subscribe => 12,
+            Request::PullDiff { .. } => 13,
+            Request::FullSync { .. } => 14,
+            Request::SubscribePush { .. } => 15,
+            Request::GetAt { .. } => 16,
+            Request::WriteAt { .. } => 17,
+            Request::Gauges => 18,
+            Request::Metrics => 19,
+        }
+    }
+
+    /// The variant name for a request wire tag, for labelling metrics in
+    /// human-readable output. `None` for tags this version doesn't know.
+    #[must_use]
+    pub fn tag_name(tag: u8) -> Option<&'static str> {
+        Some(match tag {
+            1 => "Get",
+            2 => "Insert",
+            3 => "Remove",
+            4 => "Cas",
+            5 => "Batch",
+            6 => "Snapshot",
+            7 => "Range",
+            8 => "Diff",
+            9 => "Release",
+            10 => "Stats",
+            11 => "Publish",
+            12 => "Subscribe",
+            13 => "PullDiff",
+            14 => "FullSync",
+            15 => "SubscribePush",
+            16 => "GetAt",
+            17 => "WriteAt",
+            18 => "Gauges",
+            19 => "Metrics",
+            _ => return None,
+        })
     }
 
     /// Parses a frame body produced by [`encode`](Self::encode) (or a
@@ -1045,6 +1144,7 @@ impl Request {
                 op: cur.batch_op()?,
             },
             18 => Request::Gauges,
+            19 => Request::Metrics,
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "request",
@@ -1254,6 +1354,21 @@ impl Response {
                 put_u64(out, g.push_demotions);
                 put_u64(out, g.feed_head);
             }
+            Response::Metrics(rows) => {
+                out.push(22);
+                put_u32(out, rows.len() as u32);
+                for r in rows {
+                    out.push(r.stage);
+                    out.push(r.tag);
+                    put_u64(out, r.count);
+                    put_u64(out, r.sum);
+                    put_u64(out, r.p50);
+                    put_u64(out, r.p90);
+                    put_u64(out, r.p99);
+                    put_u64(out, r.p999);
+                    put_u64(out, r.max);
+                }
+            }
         }
     }
 
@@ -1421,6 +1536,24 @@ impl Response {
                 push_demotions: cur.u64()?,
                 feed_head: cur.u64()?,
             }),
+            22 => {
+                let n = cur.seq_len(2 + 7 * 8)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(StageSummary {
+                        stage: cur.u8()?,
+                        tag: cur.u8()?,
+                        count: cur.u64()?,
+                        sum: cur.u64()?,
+                        p50: cur.u64()?,
+                        p90: cur.u64()?,
+                        p99: cur.u64()?,
+                        p999: cur.u64()?,
+                        max: cur.u64()?,
+                    });
+                }
+                Response::Metrics(rows)
+            }
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "response",
@@ -1734,10 +1867,34 @@ mod tests {
                 },
             },
             Request::Gauges,
+            Request::Metrics,
         ];
         for req in reqs {
             assert_eq!(roundtrip_request(&req), req);
         }
+    }
+
+    #[test]
+    fn tag_byte_matches_the_encoder() {
+        let reqs = [
+            Request::Get { key: 1 },
+            Request::Batch {
+                ops: vec![],
+                guarded: false,
+            },
+            Request::Publish,
+            Request::Gauges,
+            Request::Metrics,
+        ];
+        for req in reqs {
+            let mut body = Vec::new();
+            req.encode(&mut body);
+            // Tag sits after the 1-byte version and 8-byte request id.
+            assert_eq!(body[9], req.tag_byte(), "{req:?}");
+            assert!(Request::tag_name(req.tag_byte()).is_some());
+        }
+        assert_eq!(Request::tag_name(0), None);
+        assert_eq!(Request::tag_name(20), None);
     }
 
     #[test]
@@ -1833,6 +1990,31 @@ mod tests {
                 push_demotions: 8,
                 feed_head: 9,
             }),
+            Response::Metrics(vec![]),
+            Response::Metrics(vec![
+                StageSummary {
+                    stage: 1,
+                    tag: 1,
+                    count: 100,
+                    sum: 12_345,
+                    p50: 10,
+                    p90: 20,
+                    p99: 30,
+                    p999: 40,
+                    max: 50,
+                },
+                StageSummary {
+                    stage: 6,
+                    tag: 0,
+                    count: 7,
+                    sum: 7,
+                    p50: 1,
+                    p90: 1,
+                    p99: 1,
+                    p999: 1,
+                    max: 1,
+                },
+            ]),
             Response::Error(WireError::UnknownSnapshot(77)),
             Response::Error(WireError::SnapshotMismatch),
             Response::Error(WireError::Malformed),

@@ -40,9 +40,10 @@ use pathcopy_core::{ByteCounters, ByteCountersSnapshot};
 use crate::backend::{ServeBackend, ServeSnapshot};
 use crate::event::{Completions, EventLoop, PushHub, Tunables};
 use crate::feed::{FeedSink, VersionFeed};
+use crate::metrics::{MetricsSource, ServerMetrics};
 use crate::proto::{
-    Epoch, Request, Response, ServerGauges, SnapshotId, WireError, WireStats, MAX_FRAME_LEN,
-    SYNC_PAGE_MAX_ENTRIES,
+    Epoch, Request, Response, ServerGauges, SnapshotId, StageSummary, WireError, WireStats,
+    MAX_FRAME_LEN, SYNC_PAGE_MAX_ENTRIES,
 };
 
 /// Tunables for [`spawn`].
@@ -90,6 +91,12 @@ pub struct ServerConfig {
     /// `pathcopy-durable`'s `FeedPersister`. `None` (the default) keeps
     /// the feed purely in memory.
     pub feed_sink: Option<Arc<dyn FeedSink>>,
+    /// Whether the event loop records per-stage latency histograms
+    /// (queue wait, execute, write/flush — per request tag), scrapeable
+    /// via [`Request::Metrics`]. On by default; with `false` every
+    /// recorder is the disabled variant and the hot path pays a branch,
+    /// not a clock read or an atomic (see `pathcopy-metrics`).
+    pub metrics: bool,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -107,6 +114,7 @@ impl std::fmt::Debug for ServerConfig {
                 "feed_sink",
                 &self.feed_sink.as_ref().map(|_| "dyn FeedSink"),
             )
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -123,6 +131,7 @@ impl Default for ServerConfig {
             feed_capacity: 64,
             feed_start: 1,
             feed_sink: None,
+            metrics: true,
         }
     }
 }
@@ -219,6 +228,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Enables or disables per-stage latency tracing
+    /// ([`ServerConfig::metrics`]).
+    pub fn metrics(mut self, metrics: bool) -> Self {
+        self.config.metrics = metrics;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> ServerConfig {
         self.config
@@ -249,6 +265,9 @@ pub(crate) struct Shared {
     /// The push fan-out registry; also the feed's [`EpochFanout`](
     /// crate::feed) hook.
     pub(crate) push: Arc<PushHub>,
+    /// Per-stage latency tracing ([`Request::Metrics`]); every recorder
+    /// is disabled when [`ServerConfig::metrics`] is `false`.
+    pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) stop: AtomicBool,
 }
 
@@ -324,6 +343,7 @@ pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result
         open_conns: AtomicU64::new(0),
         wire: ByteCounters::new(),
         push: Arc::clone(&push),
+        metrics: Arc::new(ServerMetrics::new(config.metrics)),
         stop: AtomicBool::new(false),
     });
     shared.feed.set_fanout(push);
@@ -394,6 +414,21 @@ impl ServerHandle {
     /// [`Request::Gauges`] answers over the wire.
     pub fn gauges(&self) -> ServerGauges {
         self.shared.gauges()
+    }
+
+    /// The per-stage latency rows, identical to what
+    /// [`Request::Metrics`] answers over the wire. Empty when the
+    /// server was spawned with [`ServerConfig::metrics`] off and no
+    /// source has been registered.
+    pub fn metrics_report(&self) -> Vec<StageSummary> {
+        self.shared.metrics.report()
+    }
+
+    /// Adds an external histogram source (a durable persister, a push
+    /// replica relaying through this server) to this server's
+    /// [`Request::Metrics`] scrapes.
+    pub fn register_metrics_source(&self, source: Arc<dyn MetricsSource>) {
+        self.shared.metrics.register_source(source);
     }
 
     /// Mirrors the served backend's **current** state into the feed
@@ -632,6 +667,7 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
             }
         }
         Request::Gauges => Response::Gauges(shared.gauges()),
+        Request::Metrics => Response::Metrics(shared.metrics.report()),
         Request::Stats => {
             let s = shared.backend.stats();
             Response::Stats(WireStats {

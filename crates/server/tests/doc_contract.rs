@@ -11,8 +11,8 @@ use std::ops::Bound;
 
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_server::proto::{
-    FeedInfo, Request, Response, ServerGauges, WireError, WireStats, MAX_FRAME_LEN, PROTO_V2,
-    PROTO_VERSION, PUSH_ID_BASE, SYNC_PAGE_MAX_ENTRIES,
+    FeedInfo, Request, Response, ServerGauges, StageSummary, WireError, WireStats, MAX_FRAME_LEN,
+    PROTO_V2, PROTO_VERSION, PUSH_ID_BASE, SYNC_PAGE_MAX_ENTRIES,
 };
 
 fn doc() -> String {
@@ -127,6 +127,7 @@ fn request_tag_table_matches_the_encoder() {
             },
         ),
         ("Gauges", Request::Gauges),
+        ("Metrics", Request::Metrics),
     ];
     for (name, req) in samples {
         let mut body = Vec::new();
@@ -199,6 +200,7 @@ fn response_tag_table_matches_the_encoder() {
             },
         ),
         ("Gauges", Response::Gauges(ServerGauges::default())),
+        ("Metrics", Response::Metrics(vec![])),
     ];
     for (name, resp) in samples {
         let mut body = Vec::new();
@@ -257,6 +259,24 @@ fn push_id_namespace_matches_the_doc() {
     let mut gauges = Vec::new();
     Response::Gauges(ServerGauges::default()).encode(&mut gauges);
     assert_eq!(gauges.len(), 1 + 8 + 1 + 9 * 8, "nine u64 gauges");
+}
+
+#[test]
+fn metrics_row_layout_matches_the_doc() {
+    let doc = doc();
+    assert!(
+        doc.contains("seven `u64`s: count, sum, p50, p90, p99, p999, max"),
+        "doc must state the StageSummary field layout"
+    );
+    assert!(
+        doc.contains("skip"),
+        "doc must tell scrapers to skip unknown stage bytes"
+    );
+    // One row really costs 2 tag bytes + seven u64s after the envelope
+    // and the vector's length prefix.
+    let mut body = Vec::new();
+    Response::Metrics(vec![StageSummary::default()]).encode(&mut body);
+    assert_eq!(body.len(), 1 + 8 + 1 + 4 + (2 + 7 * 8), "one 58-byte row");
 }
 
 #[test]

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
 use pathcopy_server::proto::{
-    FeedInfo, ProtoError, Request, Response, ServerGauges, WireError, WireStats, PROTO_V2,
-    PROTO_VERSION,
+    FeedInfo, ProtoError, Request, Response, ServerGauges, StageSummary, WireError, WireStats,
+    PROTO_V2, PROTO_VERSION,
 };
 
 fn arb_opt_i64() -> impl Strategy<Value = Option<i64>> {
@@ -82,7 +82,29 @@ fn arb_request() -> impl Strategy<Value = Request> {
         }),
         arb_batch_op().prop_map(|op| Request::WriteAt { op }),
         Just(Request::Gauges),
+        Just(Request::Metrics),
     ]
+}
+
+fn arb_stage_summary() -> impl Strategy<Value = StageSummary> {
+    (
+        (any::<u8>(), any::<u8>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((stage, tag, count, sum), (p50, p90, p99), (p999, max))| StageSummary {
+                stage,
+                tag,
+                count,
+                sum,
+                p50,
+                p90,
+                p99,
+                p999,
+                max,
+            },
+        )
 }
 
 fn arb_batch_result() -> impl Strategy<Value = BatchResult<i64>> {
@@ -214,6 +236,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 }
             ),
         any::<u64>().prop_map(|epoch| Response::Error(WireError::Stale(epoch))),
+        prop::collection::vec(arb_stage_summary(), 0..9).prop_map(Response::Metrics),
     ]
 }
 
@@ -280,7 +303,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_request_tags_are_rejected(tag in 19u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_request_tags_are_rejected(tag in 20u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION];
         body.extend(id.to_le_bytes());
         body.push(tag);
@@ -292,7 +315,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_response_tags_are_rejected(tag in 22u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_response_tags_are_rejected(tag in 23u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION];
         body.extend(id.to_le_bytes());
         body.push(tag);
