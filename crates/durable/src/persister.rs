@@ -12,6 +12,7 @@ use pathcopy_server::backend::ServeSnapshot;
 use pathcopy_server::metrics::{summarize, MetricsSource};
 use pathcopy_server::proto::{Epoch, StageSummary};
 use pathcopy_server::FeedSink;
+use pathcopy_trace::{Flight, TraceContext};
 
 use crate::log::{EpochLog, LogError};
 
@@ -44,6 +45,9 @@ pub struct FeedPersister {
     last_error: Mutex<Option<LogError>>,
     errors: AtomicU64,
     append_fsync: LatencyHistogram,
+    /// Span sink for traced publishes; `None` until
+    /// [`attach_flight`](Self::attach_flight).
+    flight: Mutex<Option<Arc<Flight>>>,
 }
 
 impl FeedPersister {
@@ -54,7 +58,16 @@ impl FeedPersister {
             last_error: Mutex::new(None),
             errors: AtomicU64::new(0),
             append_fsync: LatencyHistogram::new(),
+            flight: Mutex::new(None),
         })
+    }
+
+    /// Attaches the node's trace flight recorder: from here on, a
+    /// traced publish records its append+fsync as an
+    /// [`Stage::AppendFsync`] span under the publish's execute span,
+    /// so the durability cost shows up inside the request's timeline.
+    pub fn attach_flight(&self, flight: Arc<Flight>) {
+        *self.flight.lock() = Some(flight);
     }
 
     /// Latency distribution of whole-epoch persistence (diff or
@@ -96,6 +109,16 @@ impl FeedSink for FeedPersister {
         prev: Option<&Arc<dyn ServeSnapshot>>,
         snap: &Arc<dyn ServeSnapshot>,
     ) {
+        self.on_publish_traced(epoch, prev, snap, None);
+    }
+
+    fn on_publish_traced(
+        &self,
+        epoch: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        snap: &Arc<dyn ServeSnapshot>,
+        trace: Option<&TraceContext>,
+    ) {
         if epoch <= self.log.head() {
             return; // already durable (recovered primary republishing)
         }
@@ -115,8 +138,18 @@ impl FeedSink for FeedPersister {
             },
             _ => self.log.append_checkpoint(epoch, snap.as_ref()),
         };
+        let finished = Instant::now();
+        let ns = (finished - started).as_nanos().min(u64::MAX as u128) as u64;
+        // A traced publish pins the fsync cost inside its timeline (a
+        // child of the execute span on this node) and becomes the
+        // histogram's exemplar candidate.
         self.append_fsync
-            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            .record_tagged(ns, 0, trace.map_or(0, |c| c.trace_id));
+        if let Some(ctx) = trace {
+            if let Some(flight) = self.flight.lock().as_ref() {
+                flight.span(ctx, Stage::AppendFsync, 0, epoch, started, finished);
+            }
+        }
         if let Err(e) = result {
             self.record_error(e);
         }
@@ -130,5 +163,9 @@ impl MetricsSource for FeedPersister {
             0,
             &self.append_fsync.snapshot(),
         )]
+    }
+
+    fn reset(&self) {
+        self.append_fsync.reset();
     }
 }

@@ -90,6 +90,13 @@ pub struct LatencyHistogram {
     counts: Box<[AtomicU64]>,
     sum: CachePadded<AtomicU64>,
     max: CachePadded<AtomicU64>,
+    // Exemplar: which request produced the current worst sample. The
+    // value gates the pair via fetch_max, so under a race the stored
+    // id/trace belong to *a* near-max sample — good enough to name an
+    // offender, which is the exemplar contract.
+    exemplar_value: AtomicU64,
+    exemplar_id: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl LatencyHistogram {
@@ -101,6 +108,9 @@ impl LatencyHistogram {
             counts,
             sum: CachePadded::new(AtomicU64::new(0)),
             max: CachePadded::new(AtomicU64::new(0)),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_id: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -123,6 +133,20 @@ impl LatencyHistogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records one sample **with attribution**: when `value` is the new
+    /// worst (or ties it), the request id and trace id are stashed as
+    /// the histogram's exemplar, so a later scrape's max names the
+    /// concrete offending request instead of just a number.
+    #[inline]
+    pub fn record_tagged(&self, value: u64, request_id: u64, trace_id: u64) {
+        self.record(value);
+        let prev = self.exemplar_value.fetch_max(value, Ordering::Relaxed);
+        if value >= prev {
+            self.exemplar_id.store(request_id, Ordering::Relaxed);
+            self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
     /// Copies the current counters into a plain-data snapshot.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -137,6 +161,9 @@ impl LatencyHistogram {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplar_value: self.exemplar_value.load(Ordering::Relaxed),
+            exemplar_id: self.exemplar_id.load(Ordering::Relaxed),
+            exemplar_trace: self.exemplar_trace.load(Ordering::Relaxed),
         }
     }
 
@@ -148,6 +175,9 @@ impl LatencyHistogram {
         }
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        self.exemplar_value.store(0, Ordering::Relaxed);
+        self.exemplar_id.store(0, Ordering::Relaxed);
+        self.exemplar_trace.store(0, Ordering::Relaxed);
     }
 }
 
@@ -179,6 +209,9 @@ pub struct HistogramSnapshot {
     count: u64,
     sum: u64,
     max: u64,
+    exemplar_value: u64,
+    exemplar_id: u64,
+    exemplar_trace: u64,
 }
 
 impl HistogramSnapshot {
@@ -190,6 +223,9 @@ impl HistogramSnapshot {
             count: 0,
             sum: 0,
             max: 0,
+            exemplar_value: 0,
+            exemplar_id: 0,
+            exemplar_trace: 0,
         }
     }
 
@@ -232,6 +268,57 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
+        if other.exemplar_value >= self.exemplar_value {
+            self.exemplar_value = other.exemplar_value;
+            self.exemplar_id = other.exemplar_id;
+            self.exemplar_trace = other.exemplar_trace;
+        }
+    }
+
+    /// The windowed view: the samples recorded **since** `earlier` was
+    /// taken, as a bucket-wise subtraction. `earlier` must be an older
+    /// snapshot of the same histogram (pass [`empty`](Self::empty) for
+    /// a since-boot view); buckets saturate at zero, so a reset between
+    /// the two snapshots degrades gracefully instead of underflowing.
+    ///
+    /// The window's `max` is approximated from the highest non-empty
+    /// delta bucket (clamped to the overall max) — exact maxima are not
+    /// recoverable from counters alone. The exemplar is carried from
+    /// `self` (the most recent attribution).
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Box<[u64]> = self
+            .counts
+            .iter()
+            .zip(earlier.counts.iter())
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let count = counts.iter().sum();
+        let max = counts
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| bucket_high(i).min(self.max));
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max,
+            exemplar_value: self.exemplar_value,
+            exemplar_id: self.exemplar_id,
+            exemplar_trace: self.exemplar_trace,
+        }
+    }
+
+    /// The current worst sample's attribution, when one was recorded
+    /// via [`LatencyHistogram::record_tagged`]: `(value, request_id,
+    /// trace_id)`.
+    #[must_use]
+    pub fn exemplar(&self) -> Option<(u64, u64, u64)> {
+        if self.exemplar_id == 0 && self.exemplar_trace == 0 {
+            None
+        } else {
+            Some((self.exemplar_value, self.exemplar_id, self.exemplar_trace))
+        }
     }
 
     /// Value at percentile `pct` (0–100): the highest value representable
@@ -432,8 +519,49 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let h = LatencyHistogram::new();
-        h.record(123);
+        h.record_tagged(123, 7, 9);
         h.reset();
-        assert!(h.snapshot().is_empty());
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.exemplar(), None);
+    }
+
+    #[test]
+    fn exemplar_names_the_worst_sample() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().exemplar(), None);
+        h.record_tagged(100, 1, 0);
+        h.record_tagged(5_000, 2, 0xabc);
+        h.record_tagged(300, 3, 0);
+        assert_eq!(h.snapshot().exemplar(), Some((5_000, 2, 0xabc)));
+        // Merge keeps the larger exemplar.
+        let other = LatencyHistogram::new();
+        other.record_tagged(9_000, 9, 0xdef);
+        let mut merged = h.snapshot();
+        merged.merge(&other.snapshot());
+        assert_eq!(merged.exemplar(), Some((9_000, 9, 0xdef)));
+    }
+
+    #[test]
+    fn delta_is_the_window_between_snapshots() {
+        let h = LatencyHistogram::new();
+        h.record(100);
+        h.record(1_000_000);
+        let earlier = h.snapshot();
+        h.record(200);
+        h.record(200);
+        let window = h.snapshot().delta(&earlier);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum(), 400);
+        // The window's max reflects the recent samples, not the old
+        // million-ns outlier (bucket-resolution approximate).
+        assert!(window.max() < 1_000, "window max = {}", window.max());
+        let p99 = window.value_at_percentile(99.0);
+        assert!((200..=220).contains(&p99), "window p99 = {p99}");
+        // Identity: delta against empty is the snapshot itself.
+        let full = h.snapshot();
+        assert_eq!(full.delta(&HistogramSnapshot::empty()), full);
+        // Degenerate: delta of a snapshot against itself is empty.
+        assert_eq!(full.delta(&full).count(), 0);
     }
 }

@@ -78,12 +78,52 @@ impl Recorder {
         }
     }
 
+    /// [`lap`](Self::lap) with exemplar attribution: the sample also
+    /// competes to become the histogram's exemplar, carrying the
+    /// request id (and trace id, `0` when untraced) of the offender.
+    #[inline]
+    pub fn lap_tagged(
+        &self,
+        started: Option<Instant>,
+        request_id: u64,
+        trace_id: u64,
+    ) -> Option<Instant> {
+        match (self, started) {
+            (Recorder::Enabled(hist), Some(t0)) => {
+                let now = Instant::now();
+                hist.record_tagged(
+                    u64::try_from((now - t0).as_nanos()).unwrap_or(u64::MAX),
+                    request_id,
+                    trace_id,
+                );
+                Some(now)
+            }
+            _ => None,
+        }
+    }
+
     /// Records the nanoseconds elapsed since `started`, discarding the
     /// end point. Use [`lap`](Self::lap) when another stage follows.
     #[inline]
     pub fn record_since(&self, started: Option<Instant>) {
         if let (Recorder::Enabled(hist), Some(t0)) = (self, started) {
             hist.record(elapsed_ns(t0));
+        }
+    }
+
+    /// [`record_since`](Self::record_since) with exemplar attribution.
+    #[inline]
+    pub fn record_since_tagged(&self, started: Option<Instant>, request_id: u64, trace_id: u64) {
+        if let (Recorder::Enabled(hist), Some(t0)) = (self, started) {
+            hist.record_tagged(elapsed_ns(t0), request_id, trace_id);
+        }
+    }
+
+    /// Zeroes the backing histogram (no-op when disabled). Not atomic
+    /// with respect to concurrent recorders.
+    pub fn reset(&self) {
+        if let Recorder::Enabled(hist) = self {
+            hist.reset();
         }
     }
 

@@ -9,7 +9,7 @@
 //!     --read-frac 0.9 --theta 0.99 --keys 65536 \
 //!     [--batch 8] [--workers 8] [--replicas 2] [--json out.jsonl] \
 //!     [--log-dir /var/tmp/pathcopy-log] [--subscribe] [--relays 2] \
-//!     [--metrics]
+//!     [--metrics] [--trace [--slow-ms t]] [--metrics-interval n]
 //! ```
 //!
 //! `--batch n` groups updates into n-op `Batch` frames (the sharded
@@ -60,6 +60,21 @@
 //! the replicas subscribe to the relays round-robin — the primary's
 //! push egress then scales with `r`, not with the replica count. The
 //! final report prints per-node push/gap/resubscribe counters.
+//!
+//! `--trace` turns on the cluster-wide flight recorders: every node
+//! (primary, relays, push replicas) gets a `pathcopy-trace` ring, the
+//! publisher mints a sampled trace context per epoch, and the context
+//! rides the proto-v3 envelope through queue → execute → append+fsync
+//! → push fan-out → relay re-serve → leaf apply. After the run,
+//! loadgen pulls each node's `TraceDump` over the wire and renders the
+//! worst stitched trace end to end, with epoch numbers. `--slow-ms t`
+//! arms slow-request capture: any traced request whose total exceeds
+//! `t` ms has its span chain pinned past ring eviction on every node.
+//!
+//! `--metrics-interval n` prints last-window client-side latency
+//! percentiles every `n` seconds (successive snapshots differenced via
+//! `HistogramSnapshot::delta`), so a long run shows drift over time
+//! instead of one blended end-of-run summary.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,7 +89,8 @@ use pathcopy_durable::{EpochLog, FeedPersister, LogConfig};
 use pathcopy_metrics::LatencyHistogram;
 use pathcopy_replica::{cluster, PushOutcome, PushReplica};
 use pathcopy_server::{
-    backend, render_text, Client, FeedSink, MetricsSource as _, Request, ServerConfig, Ticket,
+    backend, render_text, render_trace, trace_ids, Client, FeedSink, Flight, MetricsSource as _,
+    Request, ServerConfig, SpanRecord, Ticket, TraceContext,
 };
 use pathcopy_workloads::{KeyDist, MixedStream, Op, OpStream as _};
 
@@ -103,10 +119,22 @@ fn main() {
     let json: Option<String> = args.get("json").map(String::from);
     let log_dir: Option<String> = args.get("log-dir").map(String::from);
     let show_metrics = args.has_flag("metrics");
+    let trace_on = args.has_flag("trace");
+    let slow_ms: u64 = args.get_or("slow-ms", 0);
+    let metrics_interval: u64 = args.get_or("metrics-interval", 0);
 
     assert!(threads >= 1, "--threads must be at least 1");
     assert!(batch >= 1, "--batch must be at least 1");
     assert!(pipeline >= 1, "--pipeline must be at least 1");
+
+    // One flight recorder per node, all armed with the same slow-request
+    // threshold so a slow epoch pins its span chain cluster-wide.
+    let slow_threshold = (slow_ms > 0).then(|| Duration::from_millis(slow_ms));
+    let new_flight = |name: &str| {
+        let flight = Flight::new(name);
+        flight.set_slow_threshold(slow_threshold);
+        flight
+    };
 
     let Some(engine) = backend::by_name(&backend_name) else {
         let names: Vec<&str> = backend::backends().iter().map(|b| b.name).collect();
@@ -122,6 +150,8 @@ fn main() {
         .workers(workers)
         .queue_depth(64.max(pipeline + 1))
         .build();
+    let primary_flight = trace_on.then(|| new_flight("primary"));
+    config.trace = primary_flight.clone();
     let mut durable: Option<(Arc<EpochLog>, Arc<FeedPersister>)> = None;
     if let Some(dir) = &log_dir {
         let (log, recovered) =
@@ -134,6 +164,11 @@ fn main() {
         }
         let log = Arc::new(log);
         let persister = FeedPersister::new(Arc::clone(&log));
+        if let Some(flight) = &primary_flight {
+            // Traced publishes then record their append+fsync span into
+            // the primary's recorder, inside the publish's timeline.
+            persister.attach_flight(Arc::clone(flight));
+        }
         config.feed_start = log.head() + 1;
         config.feed_sink = Some(Arc::clone(&persister) as Arc<dyn FeedSink>);
         durable = Some((log, persister));
@@ -177,19 +212,25 @@ fn main() {
     let mut nodes = Vec::new();
     let mut push_nodes: Vec<PushReplica> = Vec::new();
     let mut read_addrs: Vec<std::net::SocketAddr> = Vec::new();
+    // Every push node's serve address, in `push_nodes` order, for the
+    // post-run `TraceDump` sweep.
+    let mut trace_addrs: Vec<std::net::SocketAddr> = Vec::new();
     if subscribe {
         // The push tier: optional relays subscribed to the primary,
         // then the read replicas subscribed round-robin to the relays
         // (or straight to the primary when there are none).
         let mut relay_addrs = Vec::new();
-        for _ in 0..relays {
+        for r in 0..relays {
             let store = backend::by_name(&backend_name).expect("relay backend");
             let mut relay = PushReplica::connect(addr, store).expect("stand up relay");
-            relay_addrs.push(
-                relay
-                    .serve_relay(ServerConfig::with_workers(2))
-                    .expect("bind relay listener"),
-            );
+            if trace_on {
+                relay.set_trace(new_flight(&format!("relay{r}")));
+            }
+            let relay_addr = relay
+                .serve_relay(ServerConfig::with_workers(2))
+                .expect("bind relay listener");
+            relay_addrs.push(relay_addr);
+            trace_addrs.push(relay_addr);
             push_nodes.push(relay);
         }
         for i in 0..replicas {
@@ -200,10 +241,14 @@ fn main() {
             };
             let store = backend::by_name(&backend_name).expect("replica backend");
             let mut leaf = PushReplica::connect(upstream, store).expect("stand up push replica");
-            read_addrs.push(
-                leaf.serve_relay(ServerConfig::with_workers(readers_per_replica))
-                    .expect("bind replica listener"),
-            );
+            if trace_on {
+                leaf.set_trace(new_flight(&format!("leaf{i}")));
+            }
+            let leaf_addr = leaf
+                .serve_relay(ServerConfig::with_workers(readers_per_replica))
+                .expect("bind replica listener");
+            read_addrs.push(leaf_addr);
+            trace_addrs.push(leaf_addr);
             push_nodes.push(leaf);
         }
         if replicas > 0 || relays > 0 {
@@ -242,12 +287,25 @@ fn main() {
         // record nothing.
         let mut sync_handles = Vec::new();
         let mut pump_handles = Vec::new();
-        if replicas > 0 || relays > 0 || log_dir.is_some() {
+        if replicas > 0 || relays > 0 || log_dir.is_some() || trace_on {
             let stop_ref = &stop;
             scope.spawn(move || {
                 let mut publisher = Client::connect(addr).expect("publisher connect");
+                // When tracing, every epoch gets its own sampled context
+                // (splitmix-scrambled id, never zero) so each publish's
+                // journey across the tree is one stitchable trace.
+                let mut trace_seq = seed | 1;
                 while !stop_ref.load(Ordering::Relaxed) {
-                    publisher.publish().expect("publish epoch");
+                    if trace_on {
+                        trace_seq = trace_seq
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .rotate_left(31);
+                        publisher
+                            .publish_traced(&TraceContext::sampled(trace_seq))
+                            .expect("publish epoch");
+                    } else {
+                        publisher.publish().expect("publish epoch");
+                    }
                     std::thread::sleep(Duration::from_millis(publish_ms));
                 }
             });
@@ -285,6 +343,41 @@ fn main() {
                 }
                 node
             }));
+        }
+
+        if metrics_interval > 0 {
+            // Windowed percentiles: successive snapshots differenced
+            // with `HistogramSnapshot::delta`, so each line reflects
+            // only the last window rather than the since-start blend.
+            let stop_ref = &stop;
+            let hist = &latency_hist;
+            scope.spawn(move || {
+                let window = Duration::from_secs(metrics_interval);
+                let mut prev = hist.snapshot();
+                let mut due = Instant::now() + window;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(25));
+                    if Instant::now() < due {
+                        continue;
+                    }
+                    due += window;
+                    let cur = hist.snapshot();
+                    let win = cur.delta(&prev);
+                    prev = cur;
+                    if win.count() == 0 {
+                        continue;
+                    }
+                    println!(
+                        "window[{metrics_interval}s]: ops={} p50={:.1}us p95={:.1}us \
+                         p99={:.1}us max={:.1}us",
+                        win.count(),
+                        win.value_at_percentile(50.0) as f64 / 1e3,
+                        win.value_at_percentile(95.0) as f64 / 1e3,
+                        win.value_at_percentile(99.0) as f64 / 1e3,
+                        win.max() as f64 / 1e3,
+                    );
+                }
+            });
         }
 
         let mut handles = Vec::with_capacity(threads);
@@ -550,6 +643,49 @@ fn main() {
             let rows = node.metrics().collect();
             println!("--- metrics ({role}[{i}] push path) ---");
             print!("{}", render_text(&rows));
+        }
+    }
+
+    if trace_on {
+        // Pull every node's flight recorder over the wire — the same
+        // `TraceDump` frame an operator's tooling would use — stitch
+        // the dumps, and render the worst fully-propagated trace.
+        let mut dumps: Vec<(String, Vec<SpanRecord>)> = Vec::new();
+        {
+            let mut c = Client::connect(addr).expect("trace connect");
+            dumps.push(c.trace_dump().expect("primary trace dump"));
+        }
+        for node_addr in &trace_addrs {
+            let mut c = Client::connect(*node_addr).expect("trace connect");
+            dumps.push(c.trace_dump().expect("node trace dump"));
+        }
+        for (node, spans) in &dumps {
+            println!("trace: node {node} captured {} span(s)", spans.len());
+        }
+        // "Worst" = among the best-stitched traces (most nodes), the
+        // one with the largest total recorded time.
+        let best = trace_ids(&dumps)
+            .into_iter()
+            .map(|id| {
+                let nodes = dumps
+                    .iter()
+                    .filter(|(_, s)| s.iter().any(|r| r.trace_id == id))
+                    .count();
+                let total: u64 = dumps
+                    .iter()
+                    .flat_map(|(_, s)| s)
+                    .filter(|r| r.trace_id == id)
+                    .map(|r| r.dur_ns)
+                    .sum();
+                (nodes, total, id)
+            })
+            .max_by_key(|&(nodes, total, _)| (nodes, total));
+        match best {
+            Some((nodes, _, id)) => {
+                println!("--- worst trace (stitched across {nodes} node(s)) ---");
+                print!("{}", render_trace(id, &dumps));
+            }
+            None => println!("trace: no sampled spans captured"),
         }
     }
 

@@ -57,6 +57,7 @@ use pathcopy_server::proto::StageSummary;
 use pathcopy_server::{
     ClientError, Epoch, ServeBackend, ServeSnapshot, ServerConfig, ServerHandle, Subscription,
 };
+use pathcopy_trace::{Flight, TraceContext};
 
 use crate::replica::{Replica, ReplicaStatsSnapshot};
 
@@ -201,6 +202,11 @@ impl MetricsSource for PushMetrics {
             summarize(Stage::EpochLag, 0, &self.epoch_lag.snapshot()),
         ]
     }
+
+    fn reset(&self) {
+        self.push_apply.reset();
+        self.epoch_lag.reset();
+    }
 }
 
 /// A push-fed replica, optionally re-serving the feed as a relay; see
@@ -211,6 +217,12 @@ pub struct PushReplica {
     relay: Option<ServerHandle>,
     stats: PushStats,
     metrics: Arc<PushMetrics>,
+    /// This node's flight recorder: when set, a traced push frame's
+    /// apply is recorded as a [`Stage::PushApply`] span under the
+    /// upstream context, and the context (re-parented under that span)
+    /// rides the relay's own push frames downstream — each hop of the
+    /// tree adds its spans to the same trace.
+    flight: Option<Arc<Flight>>,
 }
 
 impl PushReplica {
@@ -239,7 +251,16 @@ impl PushReplica {
             relay: None,
             stats: PushStats::default(),
             metrics: Arc::new(PushMetrics::default()),
+            flight: None,
         })
+    }
+
+    /// Installs this node's trace flight recorder (see the `flight`
+    /// field docs). Call **before** [`serve_relay`](Self::serve_relay)
+    /// so the relay endpoint dumps the same recorder over
+    /// `Request::TraceDump`.
+    pub fn set_trace(&mut self, flight: Arc<Flight>) {
+        self.flight = Some(flight);
     }
 
     /// The push path's latency histograms; hold the `Arc` to scrape
@@ -282,7 +303,13 @@ impl PushReplica {
     /// # Errors
     ///
     /// Any [`io::Error`] from binding the relay's listener.
-    pub fn serve_relay(&mut self, config: ServerConfig) -> io::Result<SocketAddr> {
+    pub fn serve_relay(&mut self, mut config: ServerConfig) -> io::Result<SocketAddr> {
+        // The relay endpoint shares this replica's flight recorder so a
+        // `TraceDump` against the relay address returns the apply spans
+        // the pump thread records.
+        if config.trace.is_none() {
+            config.trace = self.flight.clone();
+        }
         let handle =
             pathcopy_server::spawn(Box::new(RelayBackend::new(self.replica.store())), config)?;
         handle.register_metrics_source(self.metrics());
@@ -330,8 +357,14 @@ impl PushReplica {
             return Ok(PushOutcome::Stale { epoch: frame.epoch });
         }
         // How far ahead the wire says the feed is: 1 per frame in the
-        // steady state, more when this replica fell behind.
-        self.metrics.epoch_lag.record(frame.epoch - applied);
+        // steady state, more when this replica fell behind. A traced
+        // frame's lag sample competes to become the exemplar, so an
+        // `epoch_lag` breach in a scrape names the trace that saw it.
+        self.metrics.epoch_lag.record_tagged(
+            frame.epoch - applied,
+            0,
+            frame.trace.map_or(0, |c| c.trace_id),
+        );
         if frame.from == applied {
             let started = Instant::now();
             if !frame.entries.is_empty() {
@@ -340,10 +373,35 @@ impl PushReplica {
             self.replica.record_applied(frame.epoch);
             self.stats.pushes_applied += 1;
             self.stats.push_entries += frame.entries.len() as u64;
-            self.mirror(frame.epoch);
+            // A traced frame gets its apply recorded as a span under
+            // the upstream context, and the onward mirror re-parents
+            // the context under that span — the next hop's spans nest
+            // beneath this one.
+            let onward = match (self.flight.as_ref(), frame.trace.as_ref()) {
+                (Some(flight), Some(ctx)) => {
+                    let span_id = flight.next_span_id();
+                    Some((Arc::clone(flight), *ctx, span_id, ctx.child(span_id)))
+                }
+                _ => None,
+            };
+            self.mirror_traced(frame.epoch, onward.as_ref().map(|(_, _, _, child)| child));
+            let finished = Instant::now();
+            let ns = (finished - started).as_nanos().min(u64::MAX as u128) as u64;
             self.metrics
                 .push_apply
-                .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                .record_tagged(ns, 0, frame.trace.map_or(0, |c| c.trace_id));
+            if let Some((flight, ctx, span_id, _)) = onward {
+                flight.span_with_id(
+                    span_id,
+                    &ctx,
+                    Stage::PushApply,
+                    0,
+                    frame.epoch,
+                    started,
+                    finished,
+                );
+                flight.maybe_pin(&ctx, ns);
+            }
             Ok(PushOutcome::Pushed {
                 epoch: frame.epoch,
                 changes: frame.entries.len(),
@@ -401,8 +459,14 @@ impl PushReplica {
     /// `publish_at` rejects anything at or below the relay feed's
     /// sequence on its own, so stale mirrors are naturally dropped.
     fn mirror(&self, epoch: Epoch) {
+        self.mirror_traced(epoch, None);
+    }
+
+    /// [`mirror`](Self::mirror) carrying a trace context: the relay's
+    /// own push fan-out stamps it onto the frames it sends downstream.
+    fn mirror_traced(&self, epoch: Epoch, trace: Option<&TraceContext>) {
         if let Some(relay) = &self.relay {
-            relay.publish_at(epoch);
+            relay.publish_at_traced(epoch, trace);
         }
     }
 }

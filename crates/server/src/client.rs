@@ -30,11 +30,11 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::{ByteCounters, ByteCountersSnapshot, DiffEntry};
+use pathcopy_trace::{SpanRecord, TraceContext};
 
 use crate::proto::{
-    read_response_enveloped, write_request_with_id, Epoch, FeedInfo, ProtoError, Request,
-    RequestId, Response, ServerGauges, SnapshotId, StageSummary, WireError, WireStats,
-    PUSH_ID_BASE,
+    read_response_enveloped, write_request_traced, Epoch, FeedInfo, ProtoError, Request, RequestId,
+    Response, ServerGauges, SnapshotId, StageSummary, WireError, WireStats, PUSH_ID_BASE,
 };
 
 /// Why a client call failed — the single error surface for everything
@@ -308,6 +308,24 @@ impl Session {
     /// Errors the *server* reports for this request arrive through the
     /// ticket, not here.
     pub fn submit(&self, req: &Request) -> Result<Ticket, ClientError> {
+        self.submit_traced(req, None)
+    }
+
+    /// [`submit`](Self::submit) with an optional trace context stamped
+    /// into the request's envelope. With `Some`, a tracing server
+    /// records this request's span chain under the context's trace id
+    /// and propagates it through every downstream stage the request
+    /// triggers — this is how a client roots a distributed trace. With
+    /// `None` the frame (and cost) is identical to plain `submit`.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_traced(
+        &self,
+        req: &Request,
+        trace: Option<&TraceContext>,
+    ) -> Result<Ticket, ClientError> {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::sync_channel(1);
         {
@@ -319,7 +337,7 @@ impl Session {
         }
         let write_result = {
             let mut writer = self.shared.writer.lock();
-            write_request_with_id(&mut *writer, id, req).and_then(|()| writer.flush())
+            write_request_traced(&mut *writer, id, req, trace).and_then(|()| writer.flush())
         };
         if let Err(e) = write_result {
             // The frame may be half-written; nothing more can be
@@ -399,6 +417,11 @@ pub struct PushFrame {
     pub epoch: Epoch,
     /// The changes, in ascending key order.
     pub entries: Vec<DiffEntry<i64, i64>>,
+    /// Trace context from the frame's envelope, when the publish that
+    /// produced this push was traced: the subscriber records its apply
+    /// span as a child of the publisher's execute span, stitching the
+    /// two nodes into one trace.
+    pub trace: Option<TraceContext>,
 }
 
 /// The receiving end of a push registration (see
@@ -495,6 +518,7 @@ fn reader_loop(shared: &SessionShared, mut reader: BufReader<CountingReader>) {
                                 from,
                                 epoch,
                                 entries,
+                                trace: framed.trace,
                             });
                         }
                     }
@@ -742,6 +766,57 @@ impl Client {
         match self.call(&Request::Publish)? {
             Response::Published(epoch) => Ok(epoch),
             _ => Err(ClientError::Unexpected("Publish")),
+        }
+    }
+
+    /// [`publish`](Self::publish) with a trace context stamped on the
+    /// request: a tracing server records the publish's whole causal
+    /// fan-out — queue wait, execute, durable append, push delivery,
+    /// relay re-serve — under `ctx.trace_id`, across every node the
+    /// epoch reaches. Collect the spans with
+    /// [`trace_dump`](Self::trace_dump) per node and stitch them with
+    /// [`render_trace`](pathcopy_trace::render_trace).
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn publish_traced(&mut self, ctx: &TraceContext) -> Result<Epoch, ClientError> {
+        match self
+            .session
+            .submit_traced(&Request::Publish, Some(ctx))?
+            .wait()?
+        {
+            Response::Published(epoch) => Ok(epoch),
+            _ => Err(ClientError::Unexpected("Publish(traced)")),
+        }
+    }
+
+    /// Zeroes every since-boot latency histogram on the server — the
+    /// per-tag stage recorders and every registered source (durable
+    /// append/fsync, replica apply/lag). Gauges and counters are left
+    /// alone. Idempotent; see `Request::ResetMetrics`.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn reset_metrics(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::ResetMetrics)? {
+            Response::MetricsReset => Ok(()),
+            _ => Err(ClientError::Unexpected("ResetMetrics")),
+        }
+    }
+
+    /// Dumps the server's trace flight recorder: its node name and
+    /// every span currently readable (ring + pinned slow requests). An
+    /// empty node name means tracing is disabled on that server.
+    ///
+    /// # Errors
+    ///
+    /// The shared [`call`](Self::call) failure modes.
+    pub fn trace_dump(&mut self) -> Result<(String, Vec<SpanRecord>), ClientError> {
+        match self.call(&Request::TraceDump)? {
+            Response::TraceDump { node, spans } => Ok((node, spans)),
+            _ => Err(ClientError::Unexpected("TraceDump")),
         }
     }
 

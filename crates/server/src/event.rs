@@ -41,14 +41,16 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use pathcopy_core::DiffEntry;
+use pathcopy_metrics::Stage;
+use pathcopy_trace::TraceContext;
 
 use crate::backend::ServeSnapshot;
 use crate::feed::EpochFanout;
 use crate::poll::{Interest, PollEvent, Poller};
 use crate::pool::ThreadPool;
 use crate::proto::{
-    response_frame, Epoch, Request, RequestId, Response, WireError, MAX_FRAME_LEN, PROTO_V2,
-    PROTO_VERSION, PUSH_ID_BASE,
+    response_frame, response_frame_traced, Epoch, Request, RequestId, Response, WireError,
+    MAX_FRAME_LEN, PROTO_TRACE_FLAG, PROTO_V2, PROTO_VERSION, PUSH_ID_BASE,
 };
 use crate::server::{handle_request, Shared};
 
@@ -93,6 +95,29 @@ struct Completion {
     /// encoded reply left its worker. `None` when metrics are disabled
     /// or the frame is not a traced reply.
     timing: Option<(u8, Instant)>,
+    /// Span breadcrumb for a request carrying a trace context; closes
+    /// the write/flush span (and judges the request slow) when the
+    /// frame's last byte reaches the kernel.
+    trace: Option<TraceOut>,
+}
+
+/// Trace breadcrumb riding a reply frame through the completion queue
+/// to the flush stage: enough to close the per-request write/flush
+/// span and decide whether the whole request breached `slow_ms`.
+#[derive(Clone, Copy)]
+struct TraceOut {
+    /// The request's incoming context (write/flush is a sibling of
+    /// queue-wait and execute under the same upstream parent).
+    ctx: TraceContext,
+    /// When the decoded request was accepted off the wire — the
+    /// request's end-to-end anchor on this node.
+    accepted: Instant,
+    /// When the encoded reply left its worker: the write span's start.
+    write_start: Instant,
+    /// Request tag byte, for the span's `tag` field.
+    tag: u8,
+    /// Epoch the reply names (publish/write-at), `0` otherwise.
+    epoch: u64,
 }
 
 /// The worker→loop return path: a queue plus the write end of the
@@ -185,6 +210,17 @@ impl EpochFanout for PushHub {
         epoch: Epoch,
         snap: &Arc<dyn ServeSnapshot>,
     ) {
+        self.on_epoch_traced(from, prev, epoch, snap, None);
+    }
+
+    fn on_epoch_traced(
+        &self,
+        from: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        epoch: Epoch,
+        snap: &Arc<dyn ServeSnapshot>,
+        trace: Option<&TraceContext>,
+    ) {
         let subs: Vec<u64> = self.subs.lock().iter().copied().collect();
         if subs.is_empty() {
             return;
@@ -216,7 +252,10 @@ impl EpochFanout for PushHub {
             epoch,
             entries,
         };
-        let frame = response_frame(&resp, PROTO_VERSION, PUSH_ID_BASE | epoch);
+        // A traced publish stamps its context into every push frame's
+        // envelope, so a subscriber's apply span joins the publisher's
+        // trace (parented under the publisher's execute span).
+        let frame = response_frame_traced(&resp, PROTO_VERSION, PUSH_ID_BASE | epoch, trace);
         for conn in subs {
             self.pushes.fetch_add(1, Ordering::Relaxed);
             self.completions.push(Completion {
@@ -224,6 +263,7 @@ impl EpochFanout for PushHub {
                 frame: frame.clone(),
                 push: true,
                 timing: None,
+                trace: None,
             });
         }
     }
@@ -236,6 +276,8 @@ struct OutFrame {
     bytes: Vec<u8>,
     /// As [`Completion::timing`].
     timing: Option<(u8, Instant)>,
+    /// As [`Completion::trace`].
+    trace: Option<TraceOut>,
 }
 
 impl OutFrame {
@@ -244,6 +286,7 @@ impl OutFrame {
         OutFrame {
             bytes,
             timing: None,
+            trace: None,
         }
     }
 }
@@ -427,6 +470,7 @@ impl EventLoop {
                 conn.outq.push_back(OutFrame {
                     bytes: completion.frame,
                     timing: completion.timing,
+                    trace: completion.trace,
                 });
                 touched.push(completion.conn);
             }
@@ -554,7 +598,14 @@ impl EventLoop {
             match Request::decode_enveloped(body) {
                 Ok(framed) => {
                     conn.last_version = framed.version;
-                    self.dispatch(token, conn, framed.version, framed.request_id, framed.msg);
+                    self.dispatch(
+                        token,
+                        conn,
+                        framed.version,
+                        framed.request_id,
+                        framed.msg,
+                        framed.trace,
+                    );
                 }
                 Err(_) => {
                     conn.outq.push_back(OutFrame::untimed(response_frame(
@@ -584,6 +635,7 @@ impl EventLoop {
         version: u8,
         request_id: RequestId,
         req: Request,
+        trace: Option<TraceContext>,
     ) {
         if let Request::SubscribePush { from } = req {
             self.subscribe_push(token, conn, version, request_id, from);
@@ -605,19 +657,63 @@ impl EventLoop {
         // execute when the reply is encoded, and `flush` closes out the
         // write stage when the frame's last byte reaches the kernel.
         let queued_at = self.shared.metrics.begin();
+        // Span tracing mirrors the same three stages but only for
+        // requests that arrived with a trace context; `begin` is
+        // branch-only otherwise.
+        let accepted = self.shared.trace.begin(trace.as_ref());
         let tag = req.tag_byte();
         let shared = Arc::clone(&self.shared);
         let completions = Arc::clone(&self.completions);
         self.pool.execute(move || {
-            let exec_start = shared.metrics.queue_wait(tag).lap(queued_at);
-            let resp = handle_request(&shared, req);
+            let trace_id = trace.as_ref().map_or(0, |c| c.trace_id);
+            let exec_start = shared
+                .metrics
+                .queue_wait(tag)
+                .lap_tagged(queued_at, request_id, trace_id);
+            // Close the queue-wait span and pre-allocate the execute
+            // span's id: `handle_request` gets a child context carrying
+            // that id, so downstream stages this request triggers
+            // (durable append, push fan-out, relay apply) parent under
+            // the execute span before it has even closed.
+            let mut exec_span = 0u64;
+            let mut child = None;
+            let span_start = match (shared.trace.flight(), trace.as_ref(), accepted) {
+                (Some(flight), Some(ctx), Some(t0)) => {
+                    let now = Instant::now();
+                    flight.span(ctx, Stage::QueueWait, tag, 0, t0, now);
+                    exec_span = flight.next_span_id();
+                    child = Some(ctx.child(exec_span));
+                    Some(now)
+                }
+                _ => None,
+            };
+            let resp = handle_request(&shared, req, child.as_ref());
+            let epoch = response_epoch(&resp);
             let frame = response_frame(&resp, version, request_id);
-            let write_start = shared.metrics.execute(tag).lap(exec_start);
+            let write_start = shared
+                .metrics
+                .execute(tag)
+                .lap_tagged(exec_start, request_id, trace_id);
+            let trace_out = match (shared.trace.flight(), trace.as_ref(), accepted, span_start) {
+                (Some(flight), Some(ctx), Some(t_acc), Some(t0)) => {
+                    let now = Instant::now();
+                    flight.span_with_id(exec_span, ctx, Stage::Execute, tag, epoch, t0, now);
+                    Some(TraceOut {
+                        ctx: *ctx,
+                        accepted: t_acc,
+                        write_start: now,
+                        tag,
+                        epoch,
+                    })
+                }
+                _ => None,
+            };
             completions.push(Completion {
                 conn: token,
                 frame,
                 push: false,
                 timing: write_start.map(|t| (tag, t)),
+                trace: trace_out,
             });
         });
     }
@@ -709,8 +805,35 @@ impl EventLoop {
                             // encoded on its worker → last byte handed
                             // to the kernel (queueing behind the socket
                             // included, by design).
+                            if let Some(t) = done.trace {
+                                if let Some(flight) = self.shared.trace.flight() {
+                                    let now = Instant::now();
+                                    flight.span(
+                                        &t.ctx,
+                                        Stage::WriteFlush,
+                                        t.tag,
+                                        t.epoch,
+                                        t.write_start,
+                                        now,
+                                    );
+                                    // The request is over on this node:
+                                    // accepted → last byte out. A slow
+                                    // one gets its span chain pinned.
+                                    let total = now
+                                        .saturating_duration_since(t.accepted)
+                                        .as_nanos()
+                                        .min(u128::from(u64::MAX))
+                                        as u64;
+                                    flight.maybe_pin(&t.ctx, total);
+                                }
+                            }
                             if let Some((tag, t0)) = done.timing {
-                                self.shared.metrics.write_flush(tag).record_since(Some(t0));
+                                let trace_id = done.trace.map_or(0, |t| t.ctx.trace_id);
+                                self.shared.metrics.write_flush(tag).record_since_tagged(
+                                    Some(t0),
+                                    0,
+                                    trace_id,
+                                );
                             }
                         } else {
                             conn.out_off += n;
@@ -733,15 +856,30 @@ impl EventLoop {
     }
 }
 
+/// The epoch a reply names, when it names one: the anchor that lets a
+/// span chain on one node line up with the same epoch's spans on
+/// replicas downstream. `0` for replies outside the feed path.
+fn response_epoch(resp: &Response) -> u64 {
+    match resp {
+        Response::Published(epoch) => *epoch,
+        Response::WroteAt { watermark, .. } => *watermark,
+        _ => 0,
+    }
+}
+
 /// Best-effort envelope peek for error replies when full decoding
-/// fails: enough of a v3/v2 head to echo the right version and id, or
-/// the fallback version with id `0`.
+/// fails: enough of a v3/v2 head (traced or not) to echo the right
+/// version and id, or the fallback version with id `0`.
 fn peek_envelope(body: &[u8], fallback_version: u8) -> (u8, RequestId) {
     match body.first() {
-        Some(&PROTO_VERSION) if body.len() >= 9 => (
-            PROTO_VERSION,
-            u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
-        ),
+        Some(&v)
+            if (v == PROTO_VERSION || v == PROTO_VERSION | PROTO_TRACE_FLAG) && body.len() >= 9 =>
+        {
+            (
+                PROTO_VERSION,
+                u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+            )
+        }
         Some(&PROTO_V2) => (PROTO_V2, 0),
         _ => (fallback_version, 0),
     }

@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use pathcopy_trace::TraceContext;
 
 use crate::backend::ServeSnapshot;
 use crate::proto::{Epoch, FeedInfo};
@@ -40,6 +41,22 @@ pub(crate) trait EpochFanout: Send + Sync + 'static {
         epoch: Epoch,
         snap: &Arc<dyn ServeSnapshot>,
     );
+
+    /// [`on_epoch`](Self::on_epoch) with the trace context of the
+    /// publish that produced the epoch, when the publish was traced.
+    /// Default: drop the context and delegate, so fan-outs that predate
+    /// tracing keep working (the trace just ends at them).
+    fn on_epoch_traced(
+        &self,
+        from: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        epoch: Epoch,
+        snap: &Arc<dyn ServeSnapshot>,
+        trace: Option<&TraceContext>,
+    ) {
+        let _ = trace;
+        self.on_epoch(from, prev, epoch, snap);
+    }
 }
 
 /// An observer of epoch publication, called by [`VersionFeed::publish`]
@@ -75,6 +92,22 @@ pub trait FeedSink: Send + Sync + 'static {
         prev: Option<&Arc<dyn ServeSnapshot>>,
         snap: &Arc<dyn ServeSnapshot>,
     );
+
+    /// [`on_publish`](Self::on_publish) with the trace context of the
+    /// traced publish that produced the epoch. Default: drop the
+    /// context and delegate, so sinks that predate tracing keep
+    /// compiling; a tracing sink (the durable persister) overrides this
+    /// to record its append+fsync as a span of the publish's trace.
+    fn on_publish_traced(
+        &self,
+        epoch: Epoch,
+        prev: Option<&Arc<dyn ServeSnapshot>>,
+        snap: &Arc<dyn ServeSnapshot>,
+        trace: Option<&TraceContext>,
+    ) {
+        let _ = trace;
+        self.on_publish(epoch, prev, snap);
+    }
 }
 
 /// A capped, monotone ring of published snapshots; see the module docs.
@@ -162,6 +195,18 @@ impl VersionFeed {
     /// every epoch assigned after a write's watermark read contains the
     /// write.
     pub fn publish_with(&self, take: impl FnOnce() -> Arc<dyn ServeSnapshot>) -> Epoch {
+        self.publish_with_traced(take, None)
+    }
+
+    /// [`publish_with`](Self::publish_with) carrying the trace context
+    /// of the publish request, so the sink (durable append+fsync) and
+    /// the fan-out (push frames to subscribers) can record their work
+    /// as spans of — and propagate — the same distributed trace.
+    pub fn publish_with_traced(
+        &self,
+        take: impl FnOnce() -> Arc<dyn ServeSnapshot>,
+        trace: Option<&TraceContext>,
+    ) -> Epoch {
         let mut state = self.state.lock();
         let snap = take();
         let epoch = state.next;
@@ -174,10 +219,10 @@ impl VersionFeed {
         state.prev_epoch = epoch;
         let prev = state.prev.replace(Arc::clone(&snap));
         if let Some(sink) = &self.sink {
-            sink.on_publish(epoch, prev.as_ref(), &snap);
+            sink.on_publish_traced(epoch, prev.as_ref(), &snap, trace);
         }
         if let Some(fanout) = self.fanout.get() {
-            fanout.on_epoch(from, prev.as_ref(), epoch, &snap);
+            fanout.on_epoch_traced(from, prev.as_ref(), epoch, &snap, trace);
         }
         epoch
     }
@@ -195,6 +240,18 @@ impl VersionFeed {
     /// only the push fan-out, which carries the `from` epoch explicitly,
     /// observes mirrored publishes.
     pub fn publish_at(&self, epoch: Epoch, snap: Arc<dyn ServeSnapshot>) -> bool {
+        self.publish_at_traced(epoch, snap, None)
+    }
+
+    /// [`publish_at`](Self::publish_at) carrying the trace context of
+    /// the upstream push being mirrored, so a relay's own push fan-out
+    /// re-serves the epoch under the same distributed trace.
+    pub fn publish_at_traced(
+        &self,
+        epoch: Epoch,
+        snap: Arc<dyn ServeSnapshot>,
+        trace: Option<&TraceContext>,
+    ) -> bool {
         let mut state = self.state.lock();
         if epoch < state.next {
             return false;
@@ -208,7 +265,7 @@ impl VersionFeed {
         state.prev_epoch = epoch;
         let prev = state.prev.replace(Arc::clone(&snap));
         if let Some(fanout) = self.fanout.get() {
-            fanout.on_epoch(from, prev.as_ref(), epoch, &snap);
+            fanout.on_epoch_traced(from, prev.as_ref(), epoch, &snap, trace);
         }
         true
     }

@@ -23,9 +23,9 @@ use pathcopy_metrics::{HistogramSnapshot, Recorder, Stage};
 
 use crate::proto::{Request, StageSummary};
 
-/// Per-tag histogram slots: request tags `1..=19` plus slot `0` for
+/// Per-tag histogram slots: request tags `1..=21` plus slot `0` for
 /// untagged samples.
-const TAG_SLOTS: usize = 20;
+const TAG_SLOTS: usize = 22;
 
 /// Anything that can contribute rows to a `Metrics` scrape: the durable
 /// persister's fsync histogram, a push replica's apply/lag histograms,
@@ -34,13 +34,22 @@ pub trait MetricsSource: Send + Sync {
     /// Snapshot this source's histograms as wire rows. Called on a
     /// worker thread per scrape; must not block on the serving path.
     fn collect(&self) -> Vec<StageSummary>;
+
+    /// Zeroes this source's histograms
+    /// ([`crate::proto::Request::ResetMetrics`]). Default: no-op, so
+    /// sources that predate resettable scrapes keep compiling.
+    fn reset(&self) {}
 }
 
 /// Condenses a histogram snapshot into the wire row for `stage`/`tag` —
-/// the bridge [`MetricsSource`] implementations use.
+/// the bridge [`MetricsSource`] implementations use. The snapshot's
+/// exemplar (worst-sample request/trace attribution), when present,
+/// rides along on the row.
 #[must_use]
 pub fn summarize(stage: Stage, tag: u8, snap: &HistogramSnapshot) -> StageSummary {
     let s = snap.summary();
+    let (exemplar_id, exemplar_trace) =
+        snap.exemplar().map_or((0, 0), |(_, id, trace)| (id, trace));
     StageSummary {
         stage: stage as u8,
         tag,
@@ -51,6 +60,8 @@ pub fn summarize(stage: Stage, tag: u8, snap: &HistogramSnapshot) -> StageSummar
         p99: s.p99,
         p999: s.p999,
         max: s.max,
+        exemplar_id,
+        exemplar_trace,
     }
 }
 
@@ -136,6 +147,21 @@ impl ServerMetrics {
         self.extra.lock().push(source);
     }
 
+    /// Zeroes every histogram — the event loop's per-tag stage
+    /// recorders and every registered source — so subsequent scrapes
+    /// report a fresh window. Idempotent; concurrent recordings may
+    /// land on either side of the wipe.
+    pub fn reset_all(&self) {
+        for family in [&self.queue_wait, &self.execute, &self.write_flush] {
+            for rec in family.iter() {
+                rec.reset();
+            }
+        }
+        for source in self.extra.lock().iter() {
+            source.reset();
+        }
+    }
+
     /// Snapshots every non-empty histogram as wire rows, ascending by
     /// (stage, tag).
     #[must_use]
@@ -201,10 +227,24 @@ pub fn render_text(rows: &[StageSummary]) -> String {
             ("0.9", row.p90),
             ("0.99", row.p99),
             ("0.999", row.p999),
-            ("1", row.max),
         ] {
             let _ = writeln!(out, "{name}{{{tag_label}quantile=\"{q}\"}} {v}");
         }
+        // OpenMetrics-style exemplar on the max line: which request
+        // (and trace) produced the worst sample this histogram saw.
+        let exemplar = if row.exemplar_id != 0 || row.exemplar_trace != 0 {
+            format!(
+                " # {{request_id=\"{}\",trace_id=\"{:x}\"}} {}",
+                row.exemplar_id, row.exemplar_trace, row.max
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{name}{{{tag_label}quantile=\"1\"}} {}{exemplar}",
+            row.max
+        );
         let bare = tag_label.trim_end_matches(',');
         if bare.is_empty() {
             let _ = writeln!(out, "{name}_sum {}", row.sum);
@@ -298,6 +338,8 @@ mod tests {
                 p99: 200,
                 p999: 210,
                 max: 220,
+                exemplar_id: 41,
+                exemplar_trace: 0xBEEF,
             },
             StageSummary {
                 stage: Stage::EpochLag as u8,
@@ -309,6 +351,8 @@ mod tests {
                 p99: 1,
                 p999: 1,
                 max: 1,
+                exemplar_id: 0,
+                exemplar_trace: 0,
             },
             StageSummary {
                 stage: 250, // unknown: skipped
@@ -319,9 +363,38 @@ mod tests {
         assert!(text.contains("# TYPE pathcopy_queue_wait_ns summary"));
         assert!(text.contains("pathcopy_queue_wait_ns{tag=\"Get\",quantile=\"0.5\"} 90"));
         assert!(text.contains("pathcopy_queue_wait_ns_count{tag=\"Get\"} 10"));
+        // Exemplar rides the max line; rows without one stay bare.
+        assert!(text.contains(
+            "pathcopy_queue_wait_ns{tag=\"Get\",quantile=\"1\"} 220 \
+             # {request_id=\"41\",trace_id=\"beef\"} 220"
+        ));
         assert!(text.contains("# TYPE pathcopy_epoch_lag_epochs summary"));
-        assert!(text.contains("pathcopy_epoch_lag_epochs{quantile=\"1\"} 1"));
+        assert!(text.contains("pathcopy_epoch_lag_epochs{quantile=\"1\"} 1\n"));
         assert!(text.contains("pathcopy_epoch_lag_epochs_count 4"));
         assert!(!text.contains("250"));
+    }
+
+    #[test]
+    fn reset_all_zeroes_recorders_and_sources() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        struct Flag(AtomicBool);
+        impl MetricsSource for Flag {
+            fn collect(&self) -> Vec<StageSummary> {
+                vec![]
+            }
+            fn reset(&self) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+        let m = ServerMetrics::new(true);
+        let flag = Arc::new(Flag(AtomicBool::new(false)));
+        m.register_source(flag.clone());
+        m.execute(1).record(7);
+        assert_eq!(m.report().len(), 1);
+        m.reset_all();
+        assert!(m.report().is_empty(), "recorders must be zeroed");
+        assert!(flag.0.load(Ordering::Relaxed), "sources must be reset too");
+        m.reset_all(); // idempotent
+        assert!(m.report().is_empty());
     }
 }

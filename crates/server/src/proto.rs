@@ -5,11 +5,19 @@
 //! flight on one connection:
 //!
 //! ```text
-//! v3: [len: u32 LE] [version: u8 = 3] [request_id: u64 LE] [tag: u8] [payload ...]
-//! v2: [len: u32 LE] [version: u8 = 2] [tag: u8] [payload ...]
+//! v3:        [len: u32 LE] [version: u8 = 3] [request_id: u64 LE] [tag: u8] [payload ...]
+//! v3+trace:  [len: u32 LE] [version: u8 = 3|0x80] [request_id: u64 LE] [trace: 17 bytes] [tag: u8] [payload ...]
+//! v2:        [len: u32 LE] [version: u8 = 2] [tag: u8] [payload ...]
 //! ```
 //!
 //! where `len` counts everything after itself (version byte included).
+//! The trace extension is optional per frame: setting
+//! [`PROTO_TRACE_FLAG`] on the version byte inserts a 17-byte
+//! [`TraceContext`] (trace id `u64`, parent span `u64`, flags `u8`)
+//! between the request id and the tag. Untraced frames are
+//! byte-identical to plain v3, so v2 peers and durable logs written
+//! before tracing existed stay decodable, and tracing costs zero wire
+//! bytes when off.
 //! The server echoes each request's `request_id` on its response and may
 //! complete pipelined requests **in any order**; clients match replies
 //! to requests by id, never by arrival order. Version-2 frames (no id)
@@ -40,6 +48,7 @@ use std::ops::Bound;
 
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
+use pathcopy_trace::{SpanRecord, TraceContext};
 
 /// Protocol version carried in every frame; peers reject anything that
 /// is neither this nor [`PROTO_V2`].
@@ -55,6 +64,16 @@ pub const PROTO_VERSION: u8 = 3;
 /// frame has no `request_id` field; it decodes with an implicit id of
 /// `0` and the server answers it in v2 framing.
 pub const PROTO_V2: u8 = 2;
+
+/// Version-byte flag marking a v3 frame that carries a 17-byte
+/// [`TraceContext`] between its request id and its tag
+/// (`3 | 0x80 = 0x83` on the wire). Only v3 frames may set it — a
+/// legacy v2 envelope has nowhere to put the context, so traced
+/// propagation simply stops at a v2 hop. Decoders that predate tracing
+/// reject the flagged byte as [`ProtoError::BadVersion`], which is the
+/// correct failure: the sender only sets the flag when the operator
+/// turned tracing on across the fleet.
+pub const PROTO_TRACE_FLAG: u8 = 0x80;
 
 /// Correlation id carried in every v3 frame. Ids are chosen by the
 /// client (monotonically, per connection) and echoed verbatim by the
@@ -84,6 +103,9 @@ pub struct Framed<T> {
     pub version: u8,
     /// The correlation id (`0` for v2 frames, which carry none).
     pub request_id: RequestId,
+    /// The trace context, when the frame's version byte carried
+    /// [`PROTO_TRACE_FLAG`]; `None` for untraced frames.
+    pub trace: Option<TraceContext>,
     /// The decoded message.
     pub msg: T,
 }
@@ -266,6 +288,19 @@ pub enum Request {
     /// Replied with [`Response::Metrics`]; the reply is empty when the
     /// server runs with metrics disabled.
     Metrics,
+    /// Zero every since-boot latency histogram — the event loop's
+    /// per-tag stage recorders and every registered source (durable
+    /// persister, push replicas) — so the next [`Request::Metrics`]
+    /// scrape starts a fresh window. Idempotent: resetting an
+    /// already-empty server is a no-op. Gauges ([`Request::Gauges`])
+    /// are **not** reset — they are lifetime counters. Replied with
+    /// [`Response::MetricsReset`].
+    ResetMetrics,
+    /// Dump this node's trace flight recorder: every span currently in
+    /// the ring plus every pinned slow-request span. Replied with
+    /// [`Response::TraceDump`] (empty when tracing is disabled).
+    /// Read-only — dumping does not clear the ring.
+    TraceDump,
 }
 
 /// A server-to-client message; variants mirror [`Request`] one-to-one
@@ -371,6 +406,20 @@ pub enum Response {
     /// (stage, request-tag) pair that has recorded at least one sample,
     /// in ascending (stage, tag) order. Empty when metrics are disabled.
     Metrics(Vec<StageSummary>),
+    /// Reply to [`Request::ResetMetrics`]: every histogram was zeroed.
+    MetricsReset,
+    /// Reply to [`Request::TraceDump`]: the node's name plus every span
+    /// its flight recorder currently holds (ring + pinned), each a
+    /// fixed 56-byte record. Span timestamps are nanoseconds since the
+    /// node's own recorder start — cross-node stitching aligns on span
+    /// parentage and epoch numbers, never on clocks.
+    TraceDump {
+        /// The reporting node's name (as configured in its recorder).
+        node: String,
+        /// The spans, in the recorder's dump order (sorted by trace id,
+        /// then start time).
+        spans: Vec<SpanRecord>,
+    },
     /// The request could not be served.
     Error(WireError),
 }
@@ -469,6 +518,12 @@ pub struct StageSummary {
     pub p999: u64,
     /// Largest recorded sample.
     pub max: u64,
+    /// Request id of the exemplar — the request that produced (a sample
+    /// within the gating race of) `max`. `0` when no tagged sample has
+    /// been recorded.
+    pub exemplar_id: u64,
+    /// Trace id of the exemplar's trace context (`0` = untraced).
+    pub exemplar_trace: u64,
 }
 
 /// Error replies a server can send.
@@ -646,6 +701,14 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
+/// Writes the 17-byte trace-context extension: trace id, parent span,
+/// flags. Layout is [`TraceContext::WIRE_BYTES`].
+fn put_trace_ctx(out: &mut Vec<u8>, ctx: &TraceContext) {
+    put_u64(out, ctx.trace_id);
+    put_u64(out, ctx.parent_span);
+    out.push(ctx.flags);
+}
+
 fn put_bound(out: &mut Vec<u8>, b: Bound<i64>) {
     match b {
         Bound::Unbounded => out.push(0),
@@ -793,6 +856,14 @@ impl<'a> Cur<'a> {
         }
     }
 
+    fn trace_ctx(&mut self) -> Result<TraceContext, ProtoError> {
+        Ok(TraceContext {
+            trace_id: self.u64()?,
+            parent_span: self.u64()?,
+            flags: self.u8()?,
+        })
+    }
+
     fn bound(&mut self) -> Result<Bound<i64>, ProtoError> {
         match self.u8()? {
             0 => Ok(Bound::Unbounded),
@@ -865,12 +936,21 @@ impl<'a> Cur<'a> {
     }
 }
 
-/// Reads the envelope head off a frame body: the version byte, plus the
-/// request id for v3 (v2 frames carry none and get id `0`).
-fn read_envelope(cur: &mut Cur<'_>) -> Result<(u8, RequestId), ProtoError> {
+/// Reads the envelope head off a frame body: the version byte, the
+/// request id for v3 (v2 frames carry none and get id `0`), and the
+/// trace context when the version byte carries [`PROTO_TRACE_FLAG`].
+/// The reported version is always the *base* version (the flag is
+/// stripped), so "answer in the framing the request arrived in" keeps
+/// working unchanged.
+fn read_envelope(cur: &mut Cur<'_>) -> Result<(u8, RequestId, Option<TraceContext>), ProtoError> {
     match cur.u8()? {
-        PROTO_VERSION => Ok((PROTO_VERSION, cur.u64()?)),
-        PROTO_V2 => Ok((PROTO_V2, 0)),
+        PROTO_VERSION => Ok((PROTO_VERSION, cur.u64()?, None)),
+        v if v == PROTO_VERSION | PROTO_TRACE_FLAG => {
+            let id = cur.u64()?;
+            let ctx = cur.trace_ctx()?;
+            Ok((PROTO_VERSION, id, Some(ctx)))
+        }
+        PROTO_V2 => Ok((PROTO_V2, 0, None)),
         v => Err(ProtoError::BadVersion(v)),
     }
 }
@@ -894,6 +974,17 @@ impl Request {
     pub fn encode_with_id(&self, id: RequestId, out: &mut Vec<u8>) {
         out.push(PROTO_VERSION);
         put_u64(out, id);
+        self.encode_tail(out);
+    }
+
+    /// Serializes the message into a v3 frame body carrying `id` and a
+    /// trace context (version byte `3 | `[`PROTO_TRACE_FLAG`]). This is
+    /// how a tracing client stamps the root of a distributed trace onto
+    /// a request.
+    pub fn encode_traced(&self, id: RequestId, ctx: &TraceContext, out: &mut Vec<u8>) {
+        out.push(PROTO_VERSION | PROTO_TRACE_FLAG);
+        put_u64(out, id);
+        put_trace_ctx(out, ctx);
         self.encode_tail(out);
     }
 
@@ -995,6 +1086,8 @@ impl Request {
             }
             Request::Gauges => out.push(18),
             Request::Metrics => out.push(19),
+            Request::ResetMetrics => out.push(20),
+            Request::TraceDump => out.push(21),
         }
     }
 
@@ -1022,6 +1115,8 @@ impl Request {
             Request::WriteAt { .. } => 17,
             Request::Gauges => 18,
             Request::Metrics => 19,
+            Request::ResetMetrics => 20,
+            Request::TraceDump => 21,
         }
     }
 
@@ -1049,6 +1144,8 @@ impl Request {
             17 => "WriteAt",
             18 => "Gauges",
             19 => "Metrics",
+            20 => "ResetMetrics",
+            21 => "TraceDump",
             _ => return None,
         })
     }
@@ -1078,12 +1175,13 @@ impl Request {
     /// As [`decode`](Self::decode).
     pub fn decode_enveloped(body: &[u8]) -> Result<Framed<Self>, ProtoError> {
         let mut cur = Cur::new(body);
-        let (version, request_id) = read_envelope(&mut cur)?;
+        let (version, request_id, trace) = read_envelope(&mut cur)?;
         let msg = Self::decode_tail(&mut cur)?;
         cur.finish()?;
         Ok(Framed {
             version,
             request_id,
+            trace,
             msg,
         })
     }
@@ -1145,6 +1243,8 @@ impl Request {
             },
             18 => Request::Gauges,
             19 => Request::Metrics,
+            20 => Request::ResetMetrics,
+            21 => Request::TraceDump,
             tag => {
                 return Err(ProtoError::BadTag {
                     what: "request",
@@ -1174,6 +1274,18 @@ impl Response {
     pub fn encode_with_id(&self, id: RequestId, out: &mut Vec<u8>) {
         out.push(PROTO_VERSION);
         put_u64(out, id);
+        self.encode_tail(out);
+    }
+
+    /// Serializes the message into a v3 frame body echoing `id` and
+    /// carrying a trace context (version byte
+    /// `3 | `[`PROTO_TRACE_FLAG`]). The server uses it on
+    /// [`Response::Push`] frames so a traced publish propagates its
+    /// context down the push tree to every subscriber.
+    pub fn encode_traced(&self, id: RequestId, ctx: &TraceContext, out: &mut Vec<u8>) {
+        out.push(PROTO_VERSION | PROTO_TRACE_FLAG);
+        put_u64(out, id);
+        put_trace_ctx(out, ctx);
         self.encode_tail(out);
     }
 
@@ -1367,6 +1479,21 @@ impl Response {
                     put_u64(out, r.p99);
                     put_u64(out, r.p999);
                     put_u64(out, r.max);
+                    put_u64(out, r.exemplar_id);
+                    put_u64(out, r.exemplar_trace);
+                }
+            }
+            Response::MetricsReset => out.push(23),
+            Response::TraceDump { node, spans } => {
+                out.push(24);
+                let name = node.as_bytes();
+                put_u32(out, name.len() as u32);
+                out.extend_from_slice(name);
+                put_u32(out, spans.len() as u32);
+                for s in spans {
+                    for w in s.to_words() {
+                        put_u64(out, w);
+                    }
                 }
             }
         }
@@ -1394,12 +1521,13 @@ impl Response {
     /// As [`Request::decode`].
     pub fn decode_enveloped(body: &[u8]) -> Result<Framed<Self>, ProtoError> {
         let mut cur = Cur::new(body);
-        let (version, request_id) = read_envelope(&mut cur)?;
+        let (version, request_id, trace) = read_envelope(&mut cur)?;
         let msg = Self::decode_tail(&mut cur)?;
         cur.finish()?;
         Ok(Framed {
             version,
             request_id,
+            trace,
             msg,
         })
     }
@@ -1537,7 +1665,7 @@ impl Response {
                 feed_head: cur.u64()?,
             }),
             22 => {
-                let n = cur.seq_len(2 + 7 * 8)?;
+                let n = cur.seq_len(2 + 9 * 8)?;
                 let mut rows = Vec::with_capacity(n);
                 for _ in 0..n {
                     rows.push(StageSummary {
@@ -1550,9 +1678,31 @@ impl Response {
                         p99: cur.u64()?,
                         p999: cur.u64()?,
                         max: cur.u64()?,
+                        exemplar_id: cur.u64()?,
+                        exemplar_trace: cur.u64()?,
                     });
                 }
                 Response::Metrics(rows)
+            }
+            23 => Response::MetricsReset,
+            24 => {
+                let name_len = cur.seq_len(1)?;
+                let node = String::from_utf8(cur.take(name_len)?.to_vec()).map_err(|_| {
+                    ProtoError::BadTag {
+                        what: "node name",
+                        tag: 0,
+                    }
+                })?;
+                let n = cur.seq_len(7 * 8)?;
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut w = [0u64; 7];
+                    for word in &mut w {
+                        *word = cur.u64()?;
+                    }
+                    spans.push(SpanRecord::from_words(w));
+                }
+                Response::TraceDump { node, spans }
             }
             tag => {
                 return Err(ProtoError::BadTag {
@@ -1641,6 +1791,28 @@ pub fn write_request_with_id<W: Write>(w: &mut W, id: RequestId, req: &Request) 
     write_frame(w, &body)
 }
 
+/// [`write_request_with_id`] with an optional trace context: with
+/// `Some`, the envelope carries the context (version byte
+/// `3 | `[`PROTO_TRACE_FLAG`]); with `None` the frame is byte-identical
+/// to the untraced form.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the underlying writer.
+pub fn write_request_traced<W: Write>(
+    w: &mut W,
+    id: RequestId,
+    req: &Request,
+    trace: Option<&TraceContext>,
+) -> io::Result<()> {
+    let mut body = Vec::with_capacity(60);
+    match trace {
+        Some(ctx) => req.encode_traced(id, ctx, &mut body),
+        None => req.encode_with_id(id, &mut body),
+    }
+    write_frame(w, &body)
+}
+
 /// Reads one request frame; `Ok(None)` on clean connection close.
 ///
 /// # Errors
@@ -1721,6 +1893,47 @@ pub fn response_frame(resp: &Response, version: u8, id: RequestId) -> Vec<u8> {
             &Response::Error(WireError::TooLarge),
             version,
             id,
+            &mut frame,
+        );
+    }
+    let len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&len.to_le_bytes());
+    frame
+}
+
+/// [`response_frame`] with an optional trace context. With
+/// `Some(ctx)` on a v3 envelope the frame carries the 17-byte trace
+/// extension ([`PROTO_TRACE_FLAG`]); with `None` — or on a v2 envelope,
+/// which has nowhere to put it — the output is byte-identical to
+/// [`response_frame`].
+pub fn response_frame_traced(
+    resp: &Response,
+    version: u8,
+    id: RequestId,
+    trace: Option<&TraceContext>,
+) -> Vec<u8> {
+    fn encode_versioned(
+        resp: &Response,
+        version: u8,
+        id: RequestId,
+        trace: Option<&TraceContext>,
+        out: &mut Vec<u8>,
+    ) {
+        match trace {
+            Some(ctx) if version != PROTO_V2 => resp.encode_traced(id, ctx, out),
+            _ if version == PROTO_V2 => resp.encode_v2(out),
+            _ => resp.encode_with_id(id, out),
+        }
+    }
+    let mut frame = vec![0u8; 4];
+    encode_versioned(resp, version, id, trace, &mut frame);
+    if frame.len() - 4 > MAX_FRAME_LEN as usize {
+        frame.truncate(4);
+        encode_versioned(
+            &Response::Error(WireError::TooLarge),
+            version,
+            id,
+            trace,
             &mut frame,
         );
     }
@@ -1868,6 +2081,8 @@ mod tests {
             },
             Request::Gauges,
             Request::Metrics,
+            Request::ResetMetrics,
+            Request::TraceDump,
         ];
         for req in reqs {
             assert_eq!(roundtrip_request(&req), req);
@@ -1885,6 +2100,8 @@ mod tests {
             Request::Publish,
             Request::Gauges,
             Request::Metrics,
+            Request::ResetMetrics,
+            Request::TraceDump,
         ];
         for req in reqs {
             let mut body = Vec::new();
@@ -1894,7 +2111,7 @@ mod tests {
             assert!(Request::tag_name(req.tag_byte()).is_some());
         }
         assert_eq!(Request::tag_name(0), None);
-        assert_eq!(Request::tag_name(20), None);
+        assert_eq!(Request::tag_name(22), None);
     }
 
     #[test]
@@ -2002,6 +2219,8 @@ mod tests {
                     p99: 30,
                     p999: 40,
                     max: 50,
+                    exemplar_id: 77,
+                    exemplar_trace: 0xDEAD,
                 },
                 StageSummary {
                     stage: 6,
@@ -2013,8 +2232,42 @@ mod tests {
                     p99: 1,
                     p999: 1,
                     max: 1,
+                    exemplar_id: 0,
+                    exemplar_trace: 0,
                 },
             ]),
+            Response::MetricsReset,
+            Response::TraceDump {
+                node: String::new(),
+                spans: vec![],
+            },
+            Response::TraceDump {
+                node: "relay-1".to_string(),
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 9,
+                        span_id: 2,
+                        parent_span: 1,
+                        kind: 2,
+                        tag: 11,
+                        flags: 1,
+                        epoch: 40,
+                        start_ns: 1_000,
+                        dur_ns: 250,
+                    },
+                    SpanRecord {
+                        trace_id: u64::MAX,
+                        span_id: u64::MAX,
+                        parent_span: 0,
+                        kind: 5,
+                        tag: 0,
+                        flags: 3,
+                        epoch: u64::MAX,
+                        start_ns: u64::MAX,
+                        dur_ns: u64::MAX,
+                    },
+                ],
+            },
             Response::Error(WireError::UnknownSnapshot(77)),
             Response::Error(WireError::SnapshotMismatch),
             Response::Error(WireError::Malformed),
@@ -2113,6 +2366,45 @@ mod tests {
         let framed = Response::decode_enveloped(&body).unwrap();
         assert_eq!((framed.version, framed.request_id), (PROTO_V2, 0));
         assert_eq!(framed.msg, resp);
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_untraced_stays_byte_identical() {
+        let ctx = TraceContext {
+            trace_id: 0xAB_CD,
+            parent_span: 42,
+            flags: TraceContext::SAMPLED | TraceContext::SLOW,
+        };
+        let mut body = Vec::new();
+        Request::Publish.encode_traced(7, &ctx, &mut body);
+        assert_eq!(body[0], PROTO_VERSION | PROTO_TRACE_FLAG);
+        assert_eq!(body.len(), 1 + 8 + TraceContext::WIRE_BYTES + 1);
+        let framed = Request::decode_enveloped(&body).unwrap();
+        // The flag is stripped: downstream "answer in the arriving
+        // version" logic sees plain v3.
+        assert_eq!(framed.version, PROTO_VERSION);
+        assert_eq!(framed.request_id, 7);
+        assert_eq!(framed.trace, Some(ctx));
+        assert_eq!(framed.msg, Request::Publish);
+
+        let frame = response_frame_traced(&Response::Published(9), PROTO_VERSION, 3, Some(&ctx));
+        let framed = Response::decode_enveloped(&frame[4..]).unwrap();
+        assert_eq!(framed.trace, Some(ctx));
+        assert_eq!(framed.msg, Response::Published(9));
+
+        // No context → byte-identical to the untraced encoder, so
+        // tracing-off costs nothing on the wire.
+        let plain = response_frame_traced(&Response::Published(9), PROTO_VERSION, 3, None);
+        assert_eq!(
+            plain,
+            response_frame(&Response::Published(9), PROTO_VERSION, 3)
+        );
+
+        // A v2 envelope has nowhere to put the context: it is dropped,
+        // not smuggled, and the legacy peer decodes a plain v2 frame.
+        let v2 = response_frame_traced(&Response::Published(9), PROTO_V2, 3, Some(&ctx));
+        assert_eq!(v2, response_frame(&Response::Published(9), PROTO_V2, 3));
+        assert_eq!(Response::decode_enveloped(&v2[4..]).unwrap().trace, None);
     }
 
     #[test]

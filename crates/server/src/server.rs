@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::{ByteCounters, ByteCountersSnapshot};
+use pathcopy_trace::{Flight, TraceContext, TraceRecorder};
 
 use crate::backend::{ServeBackend, ServeSnapshot};
 use crate::event::{Completions, EventLoop, PushHub, Tunables};
@@ -97,6 +98,13 @@ pub struct ServerConfig {
     /// recorder is the disabled variant and the hot path pays a branch,
     /// not a clock read or an atomic (see `pathcopy-metrics`).
     pub metrics: bool,
+    /// Optional flight recorder for distributed request tracing
+    /// ([`Request::TraceDump`]). When set, requests arriving with a
+    /// wire trace context get per-stage spans (queue wait, execute,
+    /// write/flush — plus fsync and push fan-out through the feed
+    /// hooks) recorded into this ring; `None` (the default) disables
+    /// tracing entirely and every trace call is branch-only.
+    pub trace: Option<Arc<Flight>>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -115,6 +123,7 @@ impl std::fmt::Debug for ServerConfig {
                 &self.feed_sink.as_ref().map(|_| "dyn FeedSink"),
             )
             .field("metrics", &self.metrics)
+            .field("trace", &self.trace.as_ref().map(|f| f.node()))
             .finish()
     }
 }
@@ -132,6 +141,7 @@ impl Default for ServerConfig {
             feed_start: 1,
             feed_sink: None,
             metrics: true,
+            trace: None,
         }
     }
 }
@@ -235,6 +245,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Attaches a trace flight recorder ([`ServerConfig::trace`]).
+    pub fn trace(mut self, flight: Arc<Flight>) -> Self {
+        self.config.trace = Some(flight);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> ServerConfig {
         self.config
@@ -268,6 +284,10 @@ pub(crate) struct Shared {
     /// Per-stage latency tracing ([`Request::Metrics`]); every recorder
     /// is disabled when [`ServerConfig::metrics`] is `false`.
     pub(crate) metrics: Arc<ServerMetrics>,
+    /// Distributed-trace span recording ([`Request::TraceDump`]);
+    /// disabled unless [`ServerConfig::trace`] supplied a flight
+    /// recorder.
+    pub(crate) trace: TraceRecorder,
     pub(crate) stop: AtomicBool,
 }
 
@@ -344,6 +364,9 @@ pub fn spawn(backend: Box<dyn ServeBackend>, config: ServerConfig) -> io::Result
         wire: ByteCounters::new(),
         push: Arc::clone(&push),
         metrics: Arc::new(ServerMetrics::new(config.metrics)),
+        trace: config
+            .trace
+            .map_or(TraceRecorder::Disabled, TraceRecorder::Enabled),
         stop: AtomicBool::new(false),
     });
     shared.feed.set_fanout(push);
@@ -443,6 +466,21 @@ impl ServerHandle {
             .publish_at(epoch, self.shared.backend.snapshot())
     }
 
+    /// [`publish_at`](Self::publish_at) carrying the trace context of
+    /// the upstream push being mirrored, so the relay's own push
+    /// fan-out re-serves the epoch under the same distributed trace.
+    pub fn publish_at_traced(&self, epoch: Epoch, trace: Option<&TraceContext>) -> bool {
+        self.shared
+            .feed
+            .publish_at_traced(epoch, self.shared.backend.snapshot(), trace)
+    }
+
+    /// This node's trace flight recorder, when one was configured
+    /// ([`ServerConfig::trace`]).
+    pub fn flight(&self) -> Option<&Arc<Flight>> {
+        self.shared.trace.flight()
+    }
+
     /// Stops the event loop, closes every connection, joins the worker
     /// pool, and returns once the server is fully down. Also performed
     /// on drop.
@@ -487,8 +525,16 @@ fn resolve_snapshot(
 
 /// Executes one request against the shared state — the dispatch every
 /// pool worker runs. Pure request→response; framing, ordering, and
-/// admission control all live in the event loop.
-pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
+/// admission control all live in the event loop. `trace` is the
+/// context to propagate into downstream stages (the durable sink and
+/// the push fan-out) — for a traced request the event loop passes the
+/// child of its own execute span, so downstream spans parent
+/// correctly; `None` for untraced requests.
+pub(crate) fn handle_request(
+    shared: &Shared,
+    req: Request,
+    trace: Option<&TraceContext>,
+) -> Response {
     shared.requests.fetch_add(1, Ordering::Relaxed);
     match req {
         Request::Get { key } => Response::Got(shared.backend.get(key)),
@@ -550,9 +596,11 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
         // not before it: an epoch number observed after a write
         // completes must name a snapshot containing that write, or
         // WriteAt watermarks would lie.
-        Request::Publish => {
-            Response::Published(shared.feed.publish_with(|| shared.backend.snapshot()))
-        }
+        Request::Publish => Response::Published(
+            shared
+                .feed
+                .publish_with_traced(|| shared.backend.snapshot(), trace),
+        ),
         Request::Subscribe => Response::FeedInfo(shared.feed.info()),
         Request::PullDiff { from } => {
             let Some(from_snap) = shared.feed.get(from) else {
@@ -668,6 +716,23 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
         }
         Request::Gauges => Response::Gauges(shared.gauges()),
         Request::Metrics => Response::Metrics(shared.metrics.report()),
+        Request::ResetMetrics => {
+            shared.metrics.reset_all();
+            Response::MetricsReset
+        }
+        Request::TraceDump => match shared.trace.flight() {
+            Some(flight) => Response::TraceDump {
+                node: flight.node().to_string(),
+                spans: flight.dump(),
+            },
+            // Tracing disabled: an empty dump, not an error, so a
+            // cluster-wide collection pass needn't special-case
+            // untraced nodes.
+            None => Response::TraceDump {
+                node: String::new(),
+                spans: Vec::new(),
+            },
+        },
         Request::Stats => {
             let s = shared.backend.stats();
             Response::Stats(WireStats {

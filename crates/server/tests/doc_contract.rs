@@ -12,8 +12,9 @@ use std::ops::Bound;
 use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_server::proto::{
     FeedInfo, Request, Response, ServerGauges, StageSummary, WireError, WireStats, MAX_FRAME_LEN,
-    PROTO_V2, PROTO_VERSION, PUSH_ID_BASE, SYNC_PAGE_MAX_ENTRIES,
+    PROTO_TRACE_FLAG, PROTO_V2, PROTO_VERSION, PUSH_ID_BASE, SYNC_PAGE_MAX_ENTRIES,
 };
+use pathcopy_server::{SpanRecord, TraceContext};
 
 fn doc() -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/WIRE_PROTOCOL.md");
@@ -128,6 +129,8 @@ fn request_tag_table_matches_the_encoder() {
         ),
         ("Gauges", Request::Gauges),
         ("Metrics", Request::Metrics),
+        ("ResetMetrics", Request::ResetMetrics),
+        ("TraceDump", Request::TraceDump),
     ];
     for (name, req) in samples {
         let mut body = Vec::new();
@@ -201,6 +204,14 @@ fn response_tag_table_matches_the_encoder() {
         ),
         ("Gauges", Response::Gauges(ServerGauges::default())),
         ("Metrics", Response::Metrics(vec![])),
+        ("MetricsReset", Response::MetricsReset),
+        (
+            "TraceDump",
+            Response::TraceDump {
+                node: String::new(),
+                spans: vec![],
+            },
+        ),
     ];
     for (name, resp) in samples {
         let mut body = Vec::new();
@@ -265,18 +276,69 @@ fn push_id_namespace_matches_the_doc() {
 fn metrics_row_layout_matches_the_doc() {
     let doc = doc();
     assert!(
-        doc.contains("seven `u64`s: count, sum, p50, p90, p99, p999, max"),
+        doc.contains(
+            "nine `u64`s: count, sum, p50, p90, p99, p999, max, exemplar_id, exemplar_trace"
+        ),
         "doc must state the StageSummary field layout"
     );
     assert!(
         doc.contains("skip"),
         "doc must tell scrapers to skip unknown stage bytes"
     );
-    // One row really costs 2 tag bytes + seven u64s after the envelope
+    // One row really costs 2 tag bytes + nine u64s after the envelope
     // and the vector's length prefix.
     let mut body = Vec::new();
     Response::Metrics(vec![StageSummary::default()]).encode(&mut body);
-    assert_eq!(body.len(), 1 + 8 + 1 + 4 + (2 + 7 * 8), "one 58-byte row");
+    assert_eq!(body.len(), 1 + 8 + 1 + 4 + (2 + 9 * 8), "one 74-byte row");
+}
+
+#[test]
+fn traced_envelope_matches_the_doc() {
+    let doc = doc();
+    assert!(
+        doc.contains("`PROTO_TRACE_FLAG = 0x80`"),
+        "doc must quote the trace flag"
+    );
+    assert_eq!(PROTO_TRACE_FLAG, 0x80);
+    assert!(
+        doc.contains("[version: u8 = 3|0x80] [request_id: u64 LE] [trace: 17 bytes]"),
+        "doc must show the traced body layout"
+    );
+    assert_eq!(TraceContext::WIRE_BYTES, 17, "doc states 17 trace bytes");
+    // A traced body really is the plain v3 body with 17 bytes spliced
+    // in after the request id, flag set on the version byte.
+    let ctx = TraceContext::sampled(7);
+    let mut traced = Vec::new();
+    let mut plain = Vec::new();
+    let req = Request::Publish;
+    req.encode_traced(5, &ctx, &mut traced);
+    req.encode_with_id(5, &mut plain);
+    assert_eq!(traced[0], PROTO_VERSION | PROTO_TRACE_FLAG);
+    assert_eq!(traced.len(), plain.len() + 17);
+    assert_eq!(traced[1..9], plain[1..9], "same request id");
+    assert_eq!(traced[9 + 17..], plain[9..], "same tag + payload");
+    // And the decoder strips the flag, reporting base version 3.
+    let framed = Request::decode_enveloped(&traced).expect("traced frame decodes");
+    assert_eq!(framed.version, PROTO_VERSION);
+    assert_eq!(framed.trace, Some(ctx));
+}
+
+#[test]
+fn trace_dump_row_layout_matches_the_doc() {
+    let doc = doc();
+    assert!(
+        doc.contains("each span is seven `u64`s"),
+        "doc must state the SpanRecord word count"
+    );
+    // One span costs the node-name vec (4 bytes, empty), the span
+    // count, and seven u64s.
+    let mut body = Vec::new();
+    Response::TraceDump {
+        node: String::new(),
+        spans: vec![SpanRecord::default()],
+    }
+    .encode(&mut body);
+    assert_eq!(body.len(), 1 + 8 + 1 + 4 + 4 + 7 * 8, "one 56-byte span");
 }
 
 #[test]

@@ -155,6 +155,8 @@ fn registered_sources_show_up_in_wire_scrapes() {
                 p99: 100,
                 p999: 100,
                 max: 100,
+                exemplar_id: 0,
+                exemplar_trace: 0,
             }]
         }
     }

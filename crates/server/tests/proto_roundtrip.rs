@@ -12,8 +12,9 @@ use pathcopy_concurrent::{BatchOp, BatchResult};
 use pathcopy_core::DiffEntry;
 use pathcopy_server::proto::{
     FeedInfo, ProtoError, Request, Response, ServerGauges, StageSummary, WireError, WireStats,
-    PROTO_V2, PROTO_VERSION,
+    PROTO_TRACE_FLAG, PROTO_V2, PROTO_VERSION,
 };
+use pathcopy_server::SpanRecord;
 
 fn arb_opt_i64() -> impl Strategy<Value = Option<i64>> {
     (any::<bool>(), any::<i64>()).prop_map(|(some, v)| some.then_some(v))
@@ -83,7 +84,32 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_batch_op().prop_map(|op| Request::WriteAt { op }),
         Just(Request::Gauges),
         Just(Request::Metrics),
+        Just(Request::ResetMetrics),
+        Just(Request::TraceDump),
     ]
+}
+
+fn arb_span_record() -> impl Strategy<Value = SpanRecord> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u8>(), any::<u8>(), any::<u8>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((trace_id, span_id, parent_span), (kind, tag, flags), (epoch, start_ns, dur_ns))| {
+                SpanRecord {
+                    trace_id,
+                    span_id,
+                    parent_span,
+                    kind,
+                    tag,
+                    flags,
+                    epoch,
+                    start_ns,
+                    dur_ns,
+                }
+            },
+        )
 }
 
 fn arb_stage_summary() -> impl Strategy<Value = StageSummary> {
@@ -91,9 +117,15 @@ fn arb_stage_summary() -> impl Strategy<Value = StageSummary> {
         (any::<u8>(), any::<u8>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |((stage, tag, count, sum), (p50, p90, p99), (p999, max))| StageSummary {
+            |(
+                (stage, tag, count, sum),
+                (p50, p90, p99),
+                (p999, max),
+                (exemplar_id, exemplar_trace),
+            )| StageSummary {
                 stage,
                 tag,
                 count,
@@ -103,6 +135,8 @@ fn arb_stage_summary() -> impl Strategy<Value = StageSummary> {
                 p99,
                 p999,
                 max,
+                exemplar_id,
+                exemplar_trace,
             },
         )
 }
@@ -237,6 +271,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
             ),
         any::<u64>().prop_map(|epoch| Response::Error(WireError::Stale(epoch))),
         prop::collection::vec(arb_stage_summary(), 0..9).prop_map(Response::Metrics),
+        Just(Response::MetricsReset),
+        (any::<u32>(), prop::collection::vec(arb_span_record(), 0..9)).prop_map(|(n, spans)| {
+            Response::TraceDump {
+                node: format!("node{n}"),
+                spans,
+            }
+        }),
     ]
 }
 
@@ -296,14 +337,14 @@ proptest! {
     #[test]
     fn bad_version_is_rejected(req in arb_request(), v in 0u8..=255) {
         let mut body = encode_request(&req);
-        if v != PROTO_VERSION && v != PROTO_V2 {
+        if v != PROTO_VERSION && v != PROTO_V2 && v != (PROTO_VERSION | PROTO_TRACE_FLAG) {
             body[0] = v;
             prop_assert!(matches!(Request::decode(&body), Err(ProtoError::BadVersion(_))));
         }
     }
 
     #[test]
-    fn unknown_request_tags_are_rejected(tag in 20u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_request_tags_are_rejected(tag in 22u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION];
         body.extend(id.to_le_bytes());
         body.push(tag);
@@ -315,7 +356,7 @@ proptest! {
     }
 
     #[test]
-    fn unknown_response_tags_are_rejected(tag in 23u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn unknown_response_tags_are_rejected(tag in 25u8..=255, id in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..16)) {
         let mut body = vec![PROTO_VERSION];
         body.extend(id.to_le_bytes());
         body.push(tag);
